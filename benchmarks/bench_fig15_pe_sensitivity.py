@@ -1,0 +1,58 @@
+"""Figure 15: program/erase latency under P/E cycles 0..3000.
+
+The paper stresses the blocks between epochs and shows QSTR-MED's latencies
+stay consistent as the drive wears — it keeps re-organizing superblocks with
+minimal extra latency at every wear level.
+"""
+
+import numpy as np
+
+from repro.analysis import build_testbed, fig15_pe_sweep, render_series_block, TestbedConfig
+
+PE_POINTS = tuple(range(0, 3001, 300))
+
+
+def test_fig15_pe_sensitivity(benchmark):
+    # Fresh chips: this bench wears them out, so it must not share the
+    # session testbed with the other benches.
+    chips = build_testbed(TestbedConfig(seed=4242))
+
+    points = benchmark.pedantic(
+        lambda: fig15_pe_sweep(chips, PE_POINTS, pool_blocks=200),
+        rounds=1,
+        iterations=1,
+    )
+
+    pes = [p.pe for p in points]
+    random_pgm = [p.random.mean_extra_program_us for p in points]
+    qstr_pgm = [p.qstr_med.mean_extra_program_us for p in points]
+    random_ers = [p.random.mean_extra_erase_us for p in points]
+    qstr_ers = [p.qstr_med.mean_extra_erase_us for p in points]
+
+    print()
+    print(f"P/E points: {pes}")
+    print(
+        render_series_block(
+            "Fig 15 (top) extra PGM latency vs P/E [us]",
+            {"RANDOM": random_pgm, "QSTR-MED(4)": qstr_pgm},
+        )
+    )
+    print(
+        render_series_block(
+            "Fig 15 (bottom) extra ERS latency vs P/E [us]",
+            {"RANDOM": random_ers, "QSTR-MED(4)": qstr_ers},
+        )
+    )
+
+    # QSTR-MED wins at every single wear level.
+    for pe, r, q in zip(pes, random_pgm, qstr_pgm):
+        assert q < r, f"PE {pe}"
+    for pe, r, q in zip(pes, random_ers, qstr_ers):
+        assert q < r, f"PE {pe}"
+
+    # Consistency: QSTR-MED's improvement stays stable across wear
+    # (coefficient of variation of the improvement below 25%).
+    improvement = 1.0 - np.array(qstr_pgm) / np.array(random_pgm)
+    cv = improvement.std() / improvement.mean()
+    print(f"QSTR-MED PGM improvement per epoch: {np.round(improvement * 100, 2)} % (cv {cv:.2f})")
+    assert cv < 0.25

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Chip characterization walkthrough (the paper's Section III).
+
+Probes two chips, then shows the three observations that motivate
+PV-aware superblock organization:
+
+1. block erase latency varies block-to-block and chip-to-chip (Figure 5 top);
+2. word-line program-latency *trends* are similar within a chip but diverge
+   across chips once the common layer shape is removed (Figure 5 bottom);
+3. condensing a block's string speeds into a 1-bit-per-word-line eigen
+   sequence (Figure 9) makes similarity a cheap XOR.
+
+Run:  python examples/characterize_chips.py
+"""
+
+import numpy as np
+
+from repro import PAPER_GEOMETRY, FlashChip, Prober, VariationModel, VariationParams
+from repro.analysis import render_series_block, sparkline
+from repro.characterization import (
+    MeasurementSet,
+    mean_lwl_curve,
+    residual_trend_correlation,
+    variability_report,
+)
+from repro.core import eigen_sequence
+
+
+def main() -> None:
+    model = VariationModel(PAPER_GEOMETRY, VariationParams(), seed=7)
+    chips = [FlashChip(model.chip_profile(c), PAPER_GEOMETRY) for c in range(2)]
+
+    print("probing 2 chips x 120 blocks ...")
+    measurements = MeasurementSet()
+    for chip in chips:
+        prober = Prober(chip)
+        for block in range(120):
+            if not chip.is_bad(0, block):
+                measurements.add(prober.probe_block(0, block))
+
+    # -- 1. erase latency spread -------------------------------------------------
+    print()
+    erase_series = {
+        f"chip {chip_id}": [m.erase_latency_us for m in measurements.chip(chip_id)]
+        for chip_id in measurements.chip_ids()
+    }
+    print(render_series_block("tBERS per block [us] (Fig 5 top)", erase_series))
+    report = variability_report(measurements, "program_total")
+    print(
+        f"\nblock program-latency spread: within-chip std "
+        f"{report.within_chip_std:,.0f} us, cross-chip std {report.cross_chip_std:,.0f} us"
+    )
+
+    # -- 2. word-line trends ---------------------------------------------------------
+    chip0 = measurements.chip(0).measurements
+    chip1 = measurements.chip(1).measurements
+    common = mean_lwl_curve(chip0 + chip1)
+    within = residual_trend_correlation(chip0[0], chip0[1], common)
+    across = residual_trend_correlation(chip0[0], chip1[0], common)
+    print(
+        f"residual WL-trend correlation: {within:+.3f} within chip 0, "
+        f"{across:+.3f} across chips (process similarity lives inside a chip)"
+    )
+
+    # -- 3. eigen sequences -------------------------------------------------------------
+    print("\neigen sequences (first 48 bits) and XOR distances to chip0/block0:")
+    reference = eigen_sequence(chip0[0].wl_latencies_us)
+    for label, m in [("chip0 blk0", chip0[0]), ("chip0 blk1", chip0[1]),
+                     ("chip1 blk0", chip1[0]), ("chip1 blk1", chip1[1])]:
+        eigen = eigen_sequence(m.wl_latencies_us)
+        prefix = "".join(str(b) for b in eigen.to_bits()[:48])
+        print(f"  {label}: {prefix}...  distance={reference.hamming_distance(eigen):3d}")
+
+    # raw tPROG curves, for the V-shape
+    print()
+    curve = chip0[0].lwl_latencies()
+    print("chip0/blk0 tPROG per WL:", sparkline(curve, 64))
+    print(f"  (min {curve.min():,.0f} us, max {curve.max():,.0f} us — the 3D channel V-shape)")
+
+
+if __name__ == "__main__":
+    main()

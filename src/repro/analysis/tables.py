@@ -1,0 +1,114 @@
+"""ASCII table rendering for the reproduction reports.
+
+The benches print tables shaped exactly like the paper's Tables I/II/V so a
+reader can hold the two side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import MethodRow
+from repro.assembly.evaluate import MethodResult
+
+# The paper's reported numbers, for side-by-side printing.
+PAPER_TABLE1 = {
+    "SEQUENTIAL": (1367.57, 10.45),
+    "ERS-LTN": (1118.35, 8.55),
+    "PGM-LTN": (1356.38, 10.37),
+    "OPTIMAL(8)": (2550.73, 19.49),
+    "LWL-RANK(8)": (1845.64, 14.11),
+    "PWL-RANK(8)": (2036.86, 15.57),
+    "STR-RANK(8)": (2390.05, 18.27),
+    "STR-MED(4)": (2189.94, 16.74),
+}
+
+PAPER_TABLE2 = {
+    "STR-RANK(8)": (2390.05, 18.27),
+    "STR-RANK(6)": (2361.06, 18.05),
+    "STR-RANK(4)": (2279.14, 17.42),
+    "STR-RANK(2)": (1965.78, 15.02),
+}
+
+PAPER_TABLE5 = {
+    "RANDOM": (13084.17, 41.71),
+    "SEQUENTIAL": (11716.60, 40.12),
+    "OPTIMAL(8)": (10533.44, 22.65),
+    "QSTR-MED(4)": (10911.53, 25.10),
+    "STR-MED(4)": (10894.23, 24.97),
+}
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Simple fixed-width table with a header rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    lines = [fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table1(rows: Dict[str, MethodRow]) -> str:
+    """Table I: PGM latency reduction and improvement %, vs the paper."""
+    body: List[List[str]] = []
+    for name, row in rows.items():
+        paper = PAPER_TABLE1.get(name)
+        body.append(
+            [
+                name,
+                f"{row.reduction_us:,.2f}",
+                f"{row.improvement_pct:.2f}%",
+                f"{paper[0]:,.2f}" if paper else "-",
+                f"{paper[1]:.2f}%" if paper else "-",
+            ]
+        )
+    return render_table(
+        ["Method", "PGM LTN down (us)", "Imp. %", "paper (us)", "paper %"], body
+    )
+
+
+def render_table2(rows: Dict[str, MethodRow]) -> str:
+    body: List[List[str]] = []
+    for name, row in rows.items():
+        paper = PAPER_TABLE2.get(name)
+        body.append(
+            [
+                name,
+                f"{row.reduction_us:,.2f}",
+                f"{row.improvement_pct:.2f}%",
+                f"{paper[1]:.2f}%" if paper else "-",
+            ]
+        )
+    return render_table(["Method", "PGM LTN down (us)", "Imp. %", "paper %"], body)
+
+
+def render_table5(baseline: MethodResult, rows: Dict[str, MethodRow]) -> str:
+    """Table V: absolute extra program and erase latency per method."""
+    body: List[List[str]] = [
+        [
+            "RANDOM",
+            f"{baseline.mean_extra_program_us:,.2f}",
+            f"{baseline.mean_extra_erase_us:,.2f}",
+            f"{PAPER_TABLE5['RANDOM'][0]:,.2f}",
+            f"{PAPER_TABLE5['RANDOM'][1]:,.2f}",
+        ]
+    ]
+    for name, row in rows.items():
+        paper = PAPER_TABLE5.get(name)
+        body.append(
+            [
+                name,
+                f"{row.result.mean_extra_program_us:,.2f}",
+                f"{row.result.mean_extra_erase_us:,.2f}",
+                f"{paper[0]:,.2f}" if paper else "-",
+                f"{paper[1]:,.2f}" if paper else "-",
+            ]
+        )
+    return render_table(
+        ["Method", "Extra PGM (us)", "Extra ERS (us)", "paper PGM", "paper ERS"], body
+    )

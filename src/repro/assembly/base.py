@@ -1,0 +1,230 @@
+"""Superblock assembly abstractions.
+
+The characterization study (Section IV) treats assembly as an *offline*
+problem: given, for each of N lanes (distinct chips), a pool of measured
+blocks, partition the pools into superblocks of one block per lane so that
+the summed extra latency is small.  :class:`Assembler` is the interface all
+eight directions implement; :class:`WindowedAssembler` factors the shared
+machinery of the window-search methods (OPTIMAL / LWL-RANK / PWL-RANK /
+STR-RANK / STR-MED): sort every pool by block program latency first
+(Figure 7, step 1), then pick one combination out of each aligned window.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.datasets import BlockMeasurement
+from repro.characterization.extra_latency import (
+    extra_erase_latency,
+    extra_program_latency,
+    superblock_erase_completion,
+    superblock_program_completion,
+)
+
+
+@dataclass(frozen=True)
+class Superblock:
+    """One assembled superblock: one measured block per lane."""
+
+    members: Tuple[BlockMeasurement, ...]
+    lanes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) != len(self.lanes):
+            raise ValueError("members and lanes must align")
+        if len(set(self.lanes)) != len(self.lanes):
+            raise ValueError("a superblock takes at most one block per lane")
+
+    @property
+    def extra_program_latency_us(self) -> float:
+        return extra_program_latency(self.members)
+
+    @property
+    def extra_erase_latency_us(self) -> float:
+        return extra_erase_latency(self.members)
+
+    @property
+    def program_completion_us(self) -> float:
+        return superblock_program_completion(self.members)
+
+    @property
+    def erase_completion_us(self) -> float:
+        return superblock_erase_completion(self.members)
+
+    def member_keys(self) -> List[Tuple[int, int, int]]:
+        return [m.key() for m in self.members]
+
+
+@dataclass
+class LanePool:
+    """The free blocks one lane (chip) contributes to assembly."""
+
+    lane: int
+    blocks: List[BlockMeasurement] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def sorted_by(self, key) -> List[BlockMeasurement]:
+        return sorted(self.blocks, key=key)
+
+
+def check_pools(pools: Sequence[LanePool]) -> int:
+    """Validate pools and return the number of superblocks they can form."""
+    if len(pools) < 2:
+        raise ValueError("assembly needs at least two lanes")
+    lanes = [pool.lane for pool in pools]
+    if len(set(lanes)) != len(lanes):
+        raise ValueError(f"duplicate lane ids: {lanes}")
+    sizes = [len(pool) for pool in pools]
+    if min(sizes) == 0:
+        raise ValueError("every lane pool must be non-empty")
+    return min(sizes)
+
+
+class Assembler(ABC):
+    """A superblock organization policy."""
+
+    #: short method name used in tables and the registry
+    name: str = "abstract"
+
+    @abstractmethod
+    def assemble(self, pools: Sequence[LanePool]) -> List[Superblock]:
+        """Partition the pools into superblocks (one block per lane each)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ZipAssembler(Assembler):
+    """Assemble by ordering each pool independently and zipping positions.
+
+    Subclasses provide the per-lane ordering (random shuffle, block number,
+    erase latency, program latency).
+    """
+
+    @abstractmethod
+    def order_pool(self, pool: LanePool) -> List[BlockMeasurement]:
+        """The pool's blocks in pairing order."""
+
+    def assemble(self, pools: Sequence[LanePool]) -> List[Superblock]:
+        count = check_pools(pools)
+        ordered = [self.order_pool(pool) for pool in pools]
+        lanes = tuple(pool.lane for pool in pools)
+        return [
+            Superblock(
+                members=tuple(ordered[lane_idx][i] for lane_idx in range(len(pools))),
+                lanes=lanes,
+            )
+            for i in range(count)
+        ]
+
+
+class WindowedAssembler(Assembler):
+    """Shared frame of the window-search directions.
+
+    Pools are sorted ascending by block program latency and walked in
+    *aligned windows* of ``window`` blocks per lane.  Within one window the
+    assembler repeatedly asks the subclass to pick the best remaining
+    combination (one index per lane), consumes those blocks, and moves to
+    the next window once the current one is exhausted — so a window of W
+    yields W superblocks before the frame advances.
+
+    Keeping windows disjoint is what makes the *local* search well-behaved:
+    a greedy picker can only defer an awkward block to the end of its own
+    window, never indefinitely, so pools stay aligned across the whole run.
+
+    Subclasses see only measured data (never the generative model).
+    """
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        #: number of candidate-combination evaluations performed (overhead metric)
+        self.combinations_checked = 0
+        #: number of pairwise distance computations performed (overhead metric)
+        self.pair_checks = 0
+
+    @abstractmethod
+    def choose(self, windows: Sequence[Sequence[BlockMeasurement]]) -> Tuple[int, ...]:
+        """Pick one index per lane from the current window candidates."""
+
+    def assemble_window(
+        self, windows: Sequence[List[BlockMeasurement]], lanes: Tuple[int, ...]
+    ) -> List[Superblock]:
+        """Assemble one aligned window completely (``len(windows[0])`` SBs).
+
+        Subclasses may override to do a joint optimization over the whole
+        window (see :class:`~repro.assembly.optimal.OptimalAssembler`); the
+        default repeatedly applies :meth:`choose` to the shrinking window.
+        """
+        remaining = [list(window) for window in windows]
+        result: List[Superblock] = []
+        for _ in range(len(windows[0])):
+            picks = self.choose(remaining)
+            if len(picks) != len(remaining):
+                raise ValueError("choose() must return one index per lane")
+            members = []
+            for lane_idx, pick in enumerate(picks):
+                if not 0 <= pick < len(remaining[lane_idx]):
+                    raise IndexError(
+                        f"lane {lane_idx}: pick {pick} outside window of "
+                        f"{len(remaining[lane_idx])}"
+                    )
+                members.append(remaining[lane_idx].pop(pick))
+            result.append(Superblock(members=tuple(members), lanes=lanes))
+        return result
+
+    def assemble(self, pools: Sequence[LanePool]) -> List[Superblock]:
+        count = check_pools(pools)
+        sorted_pools = [pool.sorted_by(lambda m: m.program_total_us) for pool in pools]
+        lanes = tuple(pool.lane for pool in pools)
+        result: List[Superblock] = []
+        position = 0
+        while position < count:
+            width = min(self.window, count - position)
+            windows = [blocks[position : position + width] for blocks in sorted_pools]
+            result.extend(self.assemble_window(windows, lanes))
+            position += width
+        return result
+
+
+def pairwise_signature_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Distance matrix between two signature stacks.
+
+    ``a`` is ``(Wa, L)``, ``b`` is ``(Wb, L)``; entry (i, j) counts positions
+    where the signatures disagree — Equation 1's SIM sum for one block pair.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(f"signature shapes disagree: {a.shape} vs {b.shape}")
+    return (a[:, None, :] != b[None, :, :]).sum(axis=2)
+
+
+def min_total_distance_combo(
+    distance_matrices: Dict[Tuple[int, int], np.ndarray],
+    window_sizes: Sequence[int],
+) -> Tuple[Tuple[int, ...], float, int]:
+    """Exhaustively pick the combination minimizing summed pairwise distance.
+
+    ``distance_matrices[(i, j)]`` (i < j) holds the (Wi, Wj) distance matrix
+    between lanes i and j.  Returns ``(picks, best_distance, n_combos)``.
+    """
+    n = len(window_sizes)
+    shape = tuple(window_sizes)
+    total = np.zeros(shape)
+    for (i, j), matrix in distance_matrices.items():
+        if not 0 <= i < j < n:
+            raise ValueError(f"bad lane pair ({i}, {j})")
+        expand = [1] * n
+        expand[i] = shape[i]
+        expand[j] = shape[j]
+        total = total + matrix.reshape(expand)
+    flat_index = int(np.argmin(total))
+    picks = np.unravel_index(flat_index, shape)
+    return tuple(int(p) for p in picks), float(total.flat[flat_index]), int(total.size)

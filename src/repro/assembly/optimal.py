@@ -1,0 +1,137 @@
+"""Direction 4: brute-force local-optimal assembly.
+
+Within each aligned window of ``W`` program-latency-sorted candidates per
+lane, find a partition into ``W`` superblocks with minimal total *measured*
+extra program latency.  Exact minimization is a multi-dimensional assignment
+problem, so — like the paper's "local optimal" — we approximate it: greedy
+exhaustive selection (every remaining combination is scored each round,
+``W**lanes`` checks for the first superblock of a window) followed by
+2-opt refinement (member swaps between the window's superblocks until no
+swap lowers the total).  Impractical on a real controller — the paper counts
+1,638,400 combination checks for W=8 over four chips per P/E epoch — but it
+is the ground reference every practical method is judged against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.assembly.base import Superblock, WindowedAssembler
+from repro.characterization.datasets import BlockMeasurement
+
+
+def _extra_of(stack: np.ndarray) -> float:
+    """Extra program latency of member latency rows stacked as (k, L)."""
+    return float((stack.max(axis=0) - stack.min(axis=0)).sum())
+
+
+class OptimalAssembler(WindowedAssembler):
+    """Exhaustive window search minimizing measured extra program latency."""
+
+    name = "optimal"
+
+    def __init__(self, window: int = 8, refine_passes: int = 4):
+        super().__init__(window)
+        if refine_passes < 0:
+            raise ValueError("refine_passes must be >= 0")
+        self.refine_passes = refine_passes
+        self.name = f"optimal({window})"
+
+    # -- greedy exhaustive pick (one superblock) ----------------------------
+
+    def choose(self, windows: Sequence[Sequence[BlockMeasurement]]) -> Tuple[int, ...]:
+        lanes = len(windows)
+        if lanes < 2:
+            raise ValueError("optimal assembly needs at least two lanes")
+        stacks = [
+            np.stack([m.lwl_latencies() for m in window]) for window in windows
+        ]  # each (Wi, L)
+        sizes = [stack.shape[0] for stack in stacks]
+        self.combinations_checked += int(np.prod(sizes))
+
+        # Chunk over the first lane so the broadcast grid over the remaining
+        # lanes stays modest (W^(n-1) x L floats).
+        rest_shape = tuple(sizes[1:])
+        expanded = []
+        for lane_idx in range(1, lanes):
+            shape = [1] * (lanes - 1)
+            shape[lane_idx - 1] = sizes[lane_idx]
+            expanded.append(stacks[lane_idx].reshape(*shape, -1))
+        rest_max = expanded[0]
+        rest_min = expanded[0]
+        for array in expanded[1:]:
+            rest_max = np.maximum(rest_max, array)
+            rest_min = np.minimum(rest_min, array)
+
+        best_value = np.inf
+        best_picks: Tuple[int, ...] = (0,) * lanes
+        for i0 in range(sizes[0]):
+            first = stacks[0][i0]
+            gaps = np.maximum(rest_max, first) - np.minimum(rest_min, first)
+            totals = gaps.sum(axis=-1)  # shape rest_shape
+            flat = int(np.argmin(totals))
+            value = float(totals.flat[flat])
+            if value < best_value:
+                best_value = value
+                best_picks = (i0,) + tuple(
+                    int(p) for p in np.unravel_index(flat, rest_shape)
+                )
+        return best_picks
+
+    # -- window assembly with 2-opt refinement ----------------------------------
+
+    def assemble_window(
+        self, windows: Sequence[List[BlockMeasurement]], lanes: Tuple[int, ...]
+    ) -> List[Superblock]:
+        superblocks = super().assemble_window(windows, lanes)
+        if len(superblocks) < 2 or self.refine_passes == 0:
+            return superblocks
+
+        # assignment[lane][sb] = the member measurement; refine by swapping
+        # two superblocks' members on one lane when that lowers total extra.
+        count = len(superblocks)
+        lane_count = len(lanes)
+        members = [[sb.members[l] for sb in superblocks] for l in range(lane_count)]
+        stacks = [
+            [m.lwl_latencies() for m in members[l]] for l in range(lane_count)
+        ]
+        extras = [
+            _extra_of(np.stack([stacks[l][s] for l in range(lane_count)]))
+            for s in range(count)
+        ]
+
+        for _ in range(self.refine_passes):
+            improved = False
+            for lane in range(lane_count):
+                for a in range(count):
+                    for b in range(a + 1, count):
+                        rows_a = [stacks[l][a] for l in range(lane_count)]
+                        rows_b = [stacks[l][b] for l in range(lane_count)]
+                        swapped_a = list(rows_a)
+                        swapped_b = list(rows_b)
+                        swapped_a[lane], swapped_b[lane] = rows_b[lane], rows_a[lane]
+                        new_a = _extra_of(np.stack(swapped_a))
+                        new_b = _extra_of(np.stack(swapped_b))
+                        self.combinations_checked += 2
+                        if new_a + new_b + 1e-9 < extras[a] + extras[b]:
+                            members[lane][a], members[lane][b] = (
+                                members[lane][b],
+                                members[lane][a],
+                            )
+                            stacks[lane][a], stacks[lane][b] = (
+                                stacks[lane][b],
+                                stacks[lane][a],
+                            )
+                            extras[a], extras[b] = new_a, new_b
+                            improved = True
+            if not improved:
+                break
+
+        return [
+            Superblock(
+                members=tuple(members[l][s] for l in range(lane_count)), lanes=lanes
+            )
+            for s in range(count)
+        ]

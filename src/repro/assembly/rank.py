@@ -1,0 +1,98 @@
+"""Directions 5-8: rank/eigen signature window search.
+
+All four share the frame of :class:`WindowedAssembler` and Equation 1's
+distance (positions where two blocks' signatures disagree, summed over every
+lane pair of a candidate combination); they differ only in the signature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.assembly.base import (
+    WindowedAssembler,
+    min_total_distance_combo,
+    pairwise_signature_distances,
+)
+from repro.assembly.signatures import (
+    SignatureCache,
+    lwl_rank_signature,
+    pwl_rank_signature,
+    str_median_signature,
+    str_rank_signature,
+)
+from repro.characterization.datasets import BlockMeasurement
+
+
+class RankWindowAssembler(WindowedAssembler):
+    """Window search minimizing summed pairwise signature distance."""
+
+    def __init__(
+        self,
+        window: int,
+        builder: Callable[[BlockMeasurement], np.ndarray],
+    ):
+        super().__init__(window)
+        self._signatures = SignatureCache(builder)
+
+    def choose(self, windows: Sequence[Sequence[BlockMeasurement]]) -> Tuple[int, ...]:
+        lanes = len(windows)
+        if lanes < 2:
+            raise ValueError("rank assembly needs at least two lanes")
+        stacks = [self._signatures.stack(window) for window in windows]
+        matrices: Dict[Tuple[int, int], np.ndarray] = {}
+        for i in range(lanes):
+            for j in range(i + 1, lanes):
+                matrices[(i, j)] = pairwise_signature_distances(stacks[i], stacks[j])
+                self.pair_checks += stacks[i].shape[0] * stacks[j].shape[0]
+        picks, _, combos = min_total_distance_combo(
+            matrices, [stack.shape[0] for stack in stacks]
+        )
+        self.combinations_checked += combos
+        return picks
+
+
+class LwlRankAssembler(RankWindowAssembler):
+    """Direction 5: full logical-word-line rank vectors."""
+
+    name = "lwl_rank"
+
+    def __init__(self, window: int = 8):
+        super().__init__(window, lwl_rank_signature)
+        self.name = f"lwl_rank({window})"
+
+
+class PwlRankAssembler(RankWindowAssembler):
+    """Direction 6: per-string physical-word-line rank vectors."""
+
+    name = "pwl_rank"
+
+    def __init__(self, window: int = 8):
+        super().__init__(window, pwl_rank_signature)
+        self.name = f"pwl_rank({window})"
+
+
+class StrRankAssembler(RankWindowAssembler):
+    """Direction 7: per-layer string rank vectors."""
+
+    name = "str_rank"
+
+    def __init__(self, window: int = 8):
+        super().__init__(window, str_rank_signature)
+        self.name = f"str_rank({window})"
+
+
+class StrMedianAssembler(RankWindowAssembler):
+    """Direction 8: 1-bit-per-(layer, string) speed-class signatures.
+
+    The distance reduces to popcount(a XOR b); this is the scheme QSTR-MED
+    (``repro.core``) makes practical by dropping the all-combinations search.
+    """
+
+    name = "str_med"
+
+    def __init__(self, window: int = 4):
+        super().__init__(window, str_median_signature)
+        self.name = f"str_med({window})"

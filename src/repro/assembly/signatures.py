@@ -1,0 +1,118 @@
+"""Block similarity signatures (Section IV-A, directions 5-8).
+
+Each direction condenses a block's measured per-(layer, string) program
+latencies into a comparable vector; the distance between two blocks is the
+count of positions where their vectors disagree (Equation 1):
+
+* **LWL rank** — rank all ``layers*strings`` logical word-lines by latency
+  (ranks 0..383 on the paper's chip);
+* **PWL rank** — rank the layers independently within each string
+  (ranks 0..95 per string);
+* **STR rank** — rank the strings within each layer (ranks 0..3);
+* **STR median** — 1 bit per (layer, string): the fastest half of the
+  strings on a layer get 0, the rest get 1.  Ties are broken "sequentially"
+  (first-come), exactly as the paper's gathering process specifies.
+
+Signatures are plain ``uint16`` numpy arrays of length ``layers*strings`` so
+one ``!=``-and-sum computes Equation 1; the STR-median variant is additionally
+exposed as a :class:`BitVector` for the QSTR-MED XOR path (`repro.core.eigen`
+cross-checks the two representations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.characterization.datasets import BlockMeasurement
+
+
+def _stable_ranks(values: np.ndarray) -> np.ndarray:
+    """Rank positions ascending by value; ties keep original order."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.uint16)
+    ranks[order] = np.arange(len(values), dtype=np.uint16)
+    return ranks
+
+
+def lwl_rank_signature(measurement: BlockMeasurement) -> np.ndarray:
+    """Ranks of all logical word-lines by program latency (direction 5)."""
+    flat = measurement.lwl_latencies()
+    return _stable_ranks(flat)
+
+
+def pwl_rank_signature(measurement: BlockMeasurement) -> np.ndarray:
+    """Per-string ranks of the physical word-line layers (direction 6).
+
+    Entry order matches programming order (layer-major, string minor) so the
+    vector aligns position-wise with the other signatures.
+    """
+    matrix = measurement.wl_latencies_us  # (layers, strings)
+    layers, strings = matrix.shape
+    signature = np.empty((layers, strings), dtype=np.uint16)
+    for string in range(strings):
+        signature[:, string] = _stable_ranks(matrix[:, string])
+    return signature.reshape(-1)
+
+
+def str_rank_signature(measurement: BlockMeasurement) -> np.ndarray:
+    """Per-layer ranks of the strings (direction 7): values 0..strings-1."""
+    matrix = measurement.wl_latencies_us
+    layers, strings = matrix.shape
+    signature = np.empty((layers, strings), dtype=np.uint16)
+    for layer in range(layers):
+        signature[layer] = _stable_ranks(matrix[layer])
+    return signature.reshape(-1)
+
+
+def str_median_signature(measurement: BlockMeasurement) -> np.ndarray:
+    """Per-layer speed bits (direction 8): fastest half of strings -> 0.
+
+    With four strings, the two fastest get bit 0 and the two slowest bit 1;
+    ties are resolved first-come (lower string index wins a fast slot).
+    """
+    matrix = measurement.wl_latencies_us
+    layers, strings = matrix.shape
+    fast_slots = strings // 2
+    signature = np.ones((layers, strings), dtype=np.uint16)
+    for layer in range(layers):
+        order = np.argsort(matrix[layer], kind="stable")
+        signature[layer, order[:fast_slots]] = 0
+    return signature.reshape(-1)
+
+
+SIGNATURE_BUILDERS: Dict[str, Callable[[BlockMeasurement], np.ndarray]] = {
+    "lwl_rank": lwl_rank_signature,
+    "pwl_rank": pwl_rank_signature,
+    "str_rank": str_rank_signature,
+    "str_median": str_median_signature,
+}
+
+
+def signature_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Equation 1 for one block pair: positions where the signatures differ."""
+    if a.shape != b.shape:
+        raise ValueError(f"signature shapes disagree: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+class SignatureCache:
+    """Memoizes signatures per measurement (keyed by identity)."""
+
+    def __init__(self, builder: Callable[[BlockMeasurement], np.ndarray]):
+        self._builder = builder
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def get(self, measurement: BlockMeasurement) -> np.ndarray:
+        key = id(measurement)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._builder(measurement)
+            cached.setflags(write=False)
+            self._cache[key] = cached
+        return cached
+
+    def stack(self, measurements) -> np.ndarray:
+        """Signatures of several measurements stacked as ``(k, L)``."""
+        return np.stack([self.get(m) for m in measurements])

@@ -1,0 +1,62 @@
+"""The non-search assembly directions: random, sequential, latency sorts.
+
+* **Random** (the paper's baseline): pools are shuffled independently and
+  zipped — whatever blocks happen to line up form a superblock.
+* **Sequential** (direction 1; what "modern SSDs" commonly ship): blocks
+  with the same sequence number on different chips are grouped, banking on
+  wafer-level spatial similarity.
+* **Erase-latency sort** (direction 2): each pool sorted by tBERS, paired
+  fast-with-fast.
+* **Program-latency sort** (direction 3): each pool sorted by block program
+  latency (sum of its word-line tPROG), paired fast-with-fast.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.assembly.base import LanePool, ZipAssembler
+from repro.characterization.datasets import BlockMeasurement
+
+
+class RandomAssembler(ZipAssembler):
+    """Baseline: uniformly random pairing across lanes."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+
+    def order_pool(self, pool: LanePool) -> List[BlockMeasurement]:
+        rng = np.random.default_rng((self._seed, pool.lane))
+        order = rng.permutation(len(pool.blocks))
+        return [pool.blocks[i] for i in order]
+
+
+class SequentialAssembler(ZipAssembler):
+    """Direction 1: group blocks with the same sequence (block) number."""
+
+    name = "sequential"
+
+    def order_pool(self, pool: LanePool) -> List[BlockMeasurement]:
+        return pool.sorted_by(lambda m: (m.plane, m.block))
+
+
+class ErsLatencyAssembler(ZipAssembler):
+    """Direction 2: pair blocks by erase-latency order (fast with fast)."""
+
+    name = "ers_ltn"
+
+    def order_pool(self, pool: LanePool) -> List[BlockMeasurement]:
+        return pool.sorted_by(lambda m: m.erase_latency_us)
+
+
+class PgmLatencyAssembler(ZipAssembler):
+    """Direction 3: pair blocks by block-program-latency order."""
+
+    name = "pgm_ltn"
+
+    def order_pool(self, pool: LanePool) -> List[BlockMeasurement]:
+        return pool.sorted_by(lambda m: m.program_total_us)

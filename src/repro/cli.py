@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro`` console script) exposes the main
+experiments without writing code:
+
+* ``repro tables``  — reproduce Tables I/II/V at a chosen scale;
+* ``repro figures`` — print the sparkline versions of Figures 5/6/13/14;
+* ``repro replay``  — run a trace (file or synthetic) through the simulated
+  SSD with a chosen allocator and print the latency report;
+* ``repro overhead`` — the computing/space overhead numbers of Section VI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    TABLE1_METHODS,
+    TestbedConfig,
+    build_testbed,
+    fig5_characterization,
+    fig6_random_extra,
+    fig13_distributions,
+    fig14_per_superblock,
+    render_histogram,
+    render_series_block,
+    render_table1,
+    render_table2,
+    render_table5,
+    run_methods,
+    standard_pools,
+    table2_window_sweep,
+    table5_extra_latency,
+)
+from repro.analysis.figures import cumulative_mean
+from repro.core import (
+    FootprintModel,
+    overhead_reduction_pct,
+    qstr_med_pair_checks,
+    str_med_pair_checks,
+)
+from repro.nand import PAPER_GEOMETRY
+from repro.utils.units import TIB, format_bytes
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--blocks", type=int, default=400, help="pool blocks per chip")
+    parser.add_argument("--chips", type=int, default=4, help="chips (lanes)")
+    parser.add_argument("--seed", type=int, default=2024, help="testbed seed")
+
+
+def _build_pools(args):
+    config = TestbedConfig(seed=args.seed, chips=args.chips, pool_blocks=args.blocks)
+    chips = build_testbed(config)
+    print(f"probing {args.chips} chips x {args.blocks} blocks ...", file=sys.stderr)
+    return chips, standard_pools(chips, args.blocks)
+
+
+def cmd_tables(args) -> int:
+    _, pools = _build_pools(args)
+    if args.table in ("1", "all"):
+        _, rows = run_methods(pools, TABLE1_METHODS)
+        print("\nTable I — eight directions")
+        print(render_table1(rows))
+    if args.table in ("2", "all"):
+        _, rows = table2_window_sweep(pools)
+        print("\nTable II — STR-RANK window sweep")
+        print(render_table2(rows))
+    if args.table in ("5", "all"):
+        baseline, rows = table5_extra_latency(pools)
+        print("\nTable V — extra program/erase latency")
+        print(render_table5(baseline, rows))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    chips, pools = _build_pools(args)
+    if args.figure in ("5", "all"):
+        series = fig5_characterization(
+            chips[:2], erase_blocks=min(args.blocks, 200), curve_blocks=(0, 1)
+        )
+        erase = {
+            f"chip{c} plane{p}": [v for _, v in vals]
+            for (c, p), vals in sorted(series.erase_by_chip_plane.items())
+            if p == 0
+        }
+        print("\nFigure 5 (top) — tBERS per block")
+        print(render_series_block("", erase))
+        curves = {
+            f"chip{c} blk{b}": curve
+            for (c, b), curve in sorted(series.program_curves.items())
+        }
+        print("\nFigure 5 (bottom) — tPROG per word-line")
+        print(render_series_block("", curves))
+    if args.figure in ("6", "all"):
+        series = fig6_random_extra(pools)
+        print("\nFigure 6 — random-assembly extra latency per superblock")
+        print(
+            render_series_block(
+                "",
+                {
+                    "extra PGM [us]": series.extra_program_us,
+                    "extra ERS [us]": series.extra_erase_us,
+                },
+            )
+        )
+    if args.figure in ("13", "all"):
+        baseline, rows = run_methods(pools, ["QSTR-MED(4)"])
+        hists = fig13_distributions(rows, baseline, bins=16)
+        print("\nFigure 13 — extra PGM latency distributions")
+        for name, hist in hists.items():
+            print(render_histogram(name, hist, width=32))
+    if args.figure in ("14", "all"):
+        series = fig14_per_superblock(pools)
+        print("\nFigure 14 — running-mean extra PGM latency")
+        print(
+            render_series_block(
+                "",
+                {
+                    "STR-MED(4)": cumulative_mean(series.str_med),
+                    "QSTR-MED(4)": cumulative_mean(series.qstr_med),
+                    "RANDOM": cumulative_mean(series.random),
+                },
+            )
+        )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.ftl import Ftl, FtlConfig
+    from repro.nand import FlashChip, NandGeometry, VariationModel, VariationParams
+    from repro.ssd import Ssd, TimingConfig
+    from repro.workloads import (
+        ArrivalProcess,
+        Replayer,
+        load_trace,
+        sequential_fill,
+        zipf_writes,
+    )
+
+    geometry = NandGeometry(
+        planes_per_chip=1,
+        blocks_per_plane=args.blocks,
+        layers_per_block=24,
+        strings_per_layer=4,
+        bits_per_cell=3,
+    )
+    model = VariationModel(
+        geometry, VariationParams(factory_bad_ratio=0.0), seed=args.seed
+    )
+    chips = [FlashChip(model.chip_profile(c), geometry) for c in range(args.chips)]
+    usable = max(12, args.blocks - 8)
+    # Keep real headroom between logical space and the GC watermarks, or a
+    # tightly-sized device grinds through GC for every host write.
+    overprovision = max(0.28, min(0.6, 6.0 / usable + 0.15))
+    ftl = Ftl(
+        chips,
+        FtlConfig(
+            usable_blocks_per_plane=usable,
+            overprovision_ratio=overprovision,
+            gc_low_watermark=2,
+            gc_high_watermark=4,
+        ),
+        allocator_kind=args.allocator,
+    )
+    print("formatting ...", file=sys.stderr)
+    ftl.format()
+    ssd = Ssd(ftl, TimingConfig())
+    replayer = Replayer(ssd)
+    arrivals = ArrivalProcess(mean_interarrival_us=args.interarrival_us)
+    if args.trace:
+        requests = load_trace(args.trace)
+    else:
+        requests = sequential_fill(ftl.logical_pages, arrivals=arrivals, seed=1)
+        requests += zipf_writes(
+            ftl.logical_pages,
+            int(ftl.logical_pages * 0.7),
+            arrivals=arrivals,
+            seed=2,
+        )
+    print(f"replaying {len(requests)} requests ...", file=sys.stderr)
+    report = replayer.replay(requests)
+    print(f"\nallocator: {args.allocator}")
+    for op, summary in report.summary().items():
+        print(
+            f"  {op:6s} n={int(summary['count']):6d} mean={summary['mean']:,.1f} us  "
+            f"p99={summary['p99']:,.1f} us"
+        )
+    metrics = ftl.metrics.summary()
+    for key in (
+        "write_amplification",
+        "extra_program_mean_us",
+        "extra_erase_mean_us",
+        "gc_runs",
+    ):
+        print(f"  {key}: {metrics[key]:,.2f}")
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    print("Computing overhead (Section VI-B2):")
+    print(
+        f"  STR-MED({args.window}) pair checks per superblock: "
+        f"{str_med_pair_checks(args.window, args.chips):,}"
+    )
+    print(
+        f"  QSTR-MED(depth {args.depth}) pair checks per superblock: "
+        f"{qstr_med_pair_checks(args.chips, args.depth):,}"
+    )
+    print(
+        f"  reduction: {overhead_reduction_pct(args.window, args.chips, args.depth):.2f}%"
+    )
+    footprint = FootprintModel(PAPER_GEOMETRY)
+    print("\nSpace overhead (Section VI-D1 / Equation 2):")
+    print(f"  bytes per block: {footprint.bytes_per_block}")
+    print(f"  1 TB SSD footprint: {format_bytes(footprint.footprint_bytes(TIB))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Are Superpages Super-fast?' (HPCA 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="reproduce Tables I/II/V")
+    tables.add_argument("--table", choices=["1", "2", "5", "all"], default="all")
+    _add_scale_args(tables)
+    tables.set_defaults(func=cmd_tables)
+
+    figures = sub.add_parser("figures", help="print Figures 5/6/13/14")
+    figures.add_argument("--figure", choices=["5", "6", "13", "14", "all"], default="all")
+    _add_scale_args(figures)
+    figures.set_defaults(func=cmd_figures)
+
+    replay = sub.add_parser("replay", help="replay a trace on the simulated SSD")
+    replay.add_argument("--trace", help="trace CSV (default: synthetic fill+zipf)")
+    replay.add_argument(
+        "--allocator",
+        choices=["qstr", "random", "sequential", "pgm_sorted"],
+        default="qstr",
+    )
+    replay.add_argument("--interarrival-us", type=float, default=8000.0)
+    replay.add_argument("--blocks", type=int, default=48)
+    replay.add_argument("--chips", type=int, default=4)
+    replay.add_argument("--seed", type=int, default=2024)
+    replay.set_defaults(func=cmd_replay)
+
+    overhead = sub.add_parser("overhead", help="Section VI overhead numbers")
+    overhead.add_argument("--window", type=int, default=4)
+    overhead.add_argument("--chips", type=int, default=4)
+    overhead.add_argument("--depth", type=int, default=4)
+    overhead.set_defaults(func=cmd_overhead)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Per-chip sorted free-block catalogs (the "sorted program latency list").
+
+Every lane (chip) keeps its gathered free blocks ordered by accumulated
+block program latency.  Fast superblocks assemble from the heads, slow ones
+from the tails (Section V-C, Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.records import BlockRecord
+from repro.utils.sortedlist import SortedKeyList
+
+
+class CatalogError(Exception):
+    """Duplicate insertion or removal of an unknown block."""
+
+
+class BlockCatalog:
+    """One lane's free blocks, sorted ascending by block program latency."""
+
+    def __init__(self, lane: int):
+        self.lane = lane
+        self._list: SortedKeyList[BlockRecord] = SortedKeyList(
+            key=lambda record: record.pgm_total_us
+        )
+        self._index: Dict[Tuple[int, int], BlockRecord] = {}
+
+    def add(self, record: BlockRecord) -> None:
+        if record.lane != self.lane:
+            raise CatalogError(
+                f"record of lane {record.lane} added to catalog of lane {self.lane}"
+            )
+        key = (record.plane, record.block)
+        if key in self._index:
+            raise CatalogError(f"block p{key[0]}/b{key[1]} already catalogued")
+        self._index[key] = record
+        self._list.add(record)
+
+    def remove(self, record: BlockRecord) -> None:
+        key = (record.plane, record.block)
+        stored = self._index.pop(key, None)
+        if stored is None:
+            raise CatalogError(f"block p{key[0]}/b{key[1]} not in catalog")
+        self._list.remove(stored)
+
+    def head_candidates(self, count: int) -> List[BlockRecord]:
+        """The ``count`` fastest free blocks (fewer if the catalog is short)."""
+        return self._list.head(count)
+
+    def tail_candidates(self, count: int) -> List[BlockRecord]:
+        """The ``count`` slowest free blocks, slowest last."""
+        return self._list.tail(count)
+
+    def fastest(self) -> Optional[BlockRecord]:
+        return self._list[0] if len(self._list) else None
+
+    def slowest(self) -> Optional[BlockRecord]:
+        return self._list[-1] if len(self._list) else None
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __iter__(self) -> Iterator[BlockRecord]:
+        return iter(self._list)
+
+    def __contains__(self, record: BlockRecord) -> bool:
+        return (record.plane, record.block) in self._index
+
+    def metadata_bytes(self) -> int:
+        """Catalog footprint per Equation 2 (sum of member records)."""
+        return sum(record.metadata_bytes() for record in self._list)

@@ -1,0 +1,86 @@
+"""Overhead accounting (Sections V, VI-B2 and VI-D1).
+
+Two costs decide whether a scheme fits in a real controller:
+
+* **Computing** — how many block-pair similarity checks one superblock
+  assembly needs.  STR-MED at window W over N lanes scores all ``W**N``
+  combinations, each costing ``C(N, 2)`` pair distances; QSTR-MED anchors on
+  one reference and checks ``(N-1) * depth`` pairs.  For W = depth = 4 and
+  N = 4 that is 1,536 vs 12 — the paper's 99.22% reduction.
+* **Space** — Equation 2: per block one latency integer plus one eigen bit
+  per logical word-line; 52 bytes for a 384-LWL block, ~6.5 MB for a 1 TB
+  SSD of 8 MB blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.records import PGM_LATENCY_BYTES
+from repro.nand.geometry import NandGeometry
+from repro.utils.units import GIB, TIB
+
+
+def lane_pairs(lanes: int) -> int:
+    """C(lanes, 2) — block pairs per candidate combination."""
+    if lanes < 2:
+        raise ValueError("need at least two lanes")
+    return lanes * (lanes - 1) // 2
+
+
+def str_med_pair_checks(window: int, lanes: int) -> int:
+    """Pair checks STR-MED needs for ONE superblock (Section IV-B).
+
+    Every one of the ``window**lanes`` combinations is scored with
+    ``C(lanes, 2)`` pairwise distances; 1,536 for window 4 over 4 chips.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    return window**lanes * lane_pairs(lanes)
+
+
+def qstr_med_pair_checks(lanes: int, candidate_depth: int = 4) -> int:
+    """Pair checks QSTR-MED needs for one superblock: (lanes-1) * depth."""
+    if lanes < 2:
+        raise ValueError("need at least two lanes")
+    if candidate_depth < 1:
+        raise ValueError("candidate_depth must be >= 1")
+    return (lanes - 1) * candidate_depth
+
+
+def overhead_reduction_pct(window: int = 4, lanes: int = 4, candidate_depth: int = 4) -> float:
+    """The headline computing-overhead reduction (99.22% for the defaults)."""
+    baseline = str_med_pair_checks(window, lanes)
+    ours = qstr_med_pair_checks(lanes, candidate_depth)
+    return (baseline - ours) / baseline * 100.0
+
+
+@dataclass(frozen=True)
+class FootprintModel:
+    """Equation 2's memory footprint of QSTR-MED metadata."""
+
+    geometry: NandGeometry
+
+    @property
+    def eigen_bytes_per_block(self) -> int:
+        """One bit per logical word-line, rounded up to bytes (48 B at 384 LWLs)."""
+        return (self.geometry.lwls_per_block + 7) // 8
+
+    @property
+    def bytes_per_block(self) -> int:
+        """S_PGM_LTN + S_Eigen — 52 bytes for the paper's block geometry."""
+        return PGM_LATENCY_BYTES + self.eigen_bytes_per_block
+
+    def block_count_for_capacity(self, capacity_bytes: int) -> int:
+        """How many blocks an SSD of ``capacity_bytes`` user capacity has."""
+        block_bytes = self.geometry.block_user_bytes
+        return math.ceil(capacity_bytes / block_bytes)
+
+    def footprint_bytes(self, capacity_bytes: int = TIB) -> int:
+        """M_footprint = N_block x (S_PGM_LTN + S_Eigen) for a drive size."""
+        return self.block_count_for_capacity(capacity_bytes) * self.bytes_per_block
+
+    def footprint_fraction_of_dram(self, capacity_bytes: int = TIB, dram_bytes: int = GIB) -> float:
+        """Footprint relative to a typical 1 GB-per-1 TB DRAM budget."""
+        return self.footprint_bytes(capacity_bytes) / dram_bytes

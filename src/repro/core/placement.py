@@ -1,0 +1,79 @@
+"""Function-based data placement (Section V-D).
+
+Because QSTR-MED can organize fast and slow superblocks *on demand*, the
+write path can route data by its origin and shape: host writes land in fast
+superblocks (they sit on the latency-critical path), garbage-collection
+relocations land in slow superblocks (they happen in the background), and —
+for developers who opt in — small random host writes can be steered ahead of
+large batch writes inside the fast superblock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.assembler import SpeedClass
+
+
+class WriteSource(Enum):
+    """Who generated a write."""
+
+    HOST = "host"
+    GC = "gc"
+    METADATA = "metadata"
+
+
+@dataclass(frozen=True)
+class WriteIntent:
+    """The placement-relevant facts about one write."""
+
+    source: WriteSource
+    pages: int = 1
+    sequential: bool = False
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Maps a write's origin to the superblock speed class it should use.
+
+    ``small_write_page_limit`` only matters when ``classify_superpage`` is
+    consulted (the optional in-superblock steering the paper sketches).
+    """
+
+    host_class: SpeedClass = SpeedClass.FAST
+    gc_class: SpeedClass = SpeedClass.SLOW
+    metadata_class: SpeedClass = SpeedClass.SLOW
+    small_write_page_limit: int = 8
+
+    def classify(self, intent: WriteIntent) -> SpeedClass:
+        """Speed class of the superblock this write should go to."""
+        if intent.source is WriteSource.HOST:
+            return self.host_class
+        if intent.source is WriteSource.GC:
+            return self.gc_class
+        return self.metadata_class
+
+    def prefers_fast_superpage(self, intent: WriteIntent) -> bool:
+        """In-superblock steering: small random host writes first.
+
+        The paper's optional refinement — small random data goes to the
+        high-speed superpages of a fast superblock, large batch data to its
+        slower superpages.
+        """
+        return (
+            intent.source is WriteSource.HOST
+            and not intent.sequential
+            and intent.pages <= self.small_write_page_limit
+        )
+
+
+#: The paper's default routing: host -> fast, GC -> slow.
+DEFAULT_POLICY = PlacementPolicy()
+
+#: A routing that ignores write origin (the baseline FTLs use this).
+UNIFORM_POLICY = PlacementPolicy(
+    host_class=SpeedClass.FAST,
+    gc_class=SpeedClass.FAST,
+    metadata_class=SpeedClass.FAST,
+)

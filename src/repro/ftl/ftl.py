@@ -1,0 +1,587 @@
+"""The page-mapping FTL with superblock striping and PV-aware allocation.
+
+Data path: host/GC page writes coalesce in the write buffer until one super
+word-line's worth is ready, then a multi-plane-style program fires across
+all lanes — its completion is the *slowest* member word-line, its extra
+latency the max-min gap the paper optimizes.  Blocks come from a pluggable
+allocator (QSTR-MED or a baseline), garbage collection relocates valid pages
+into slow superblocks (function-based placement, Section V-D), and every
+measured latency is reported back to the allocator so QSTR-MED's catalogs
+refresh at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assembler import SpeedClass
+from repro.core.gathering import GatheringUnit
+from repro.core.placement import DEFAULT_POLICY, PlacementPolicy, WriteIntent, WriteSource
+from repro.core.superpage import SuperpagePredictor
+from repro.core.records import BlockRecord
+from repro.ftl.allocator import AllocationError, BlockAllocator, make_allocator
+from repro.ftl.config import FtlConfig
+from repro.ftl.mapping import MappingError, PageMapper, PhysicalSlot
+from repro.ftl.metrics import FtlMetrics
+from repro.ftl.superblock import ManagedSuperblock, SuperblockTable
+from repro.ftl.wear_leveling import WearLeveler
+from repro.ftl.writebuffer import BufferedPage, WriteBuffer, WriteStream
+from repro.nand.chip import FlashChip
+from repro.nand.errors import EnduranceExceededError, UncorrectableReadError
+
+
+class OutOfSpaceError(Exception):
+    """No free blocks left and garbage collection cannot reclaim any."""
+
+
+class IntegrityError(Exception):
+    """A read returned a payload that does not match its logical page."""
+
+
+@dataclass(frozen=True)
+class FlushReport:
+    """Outcome of programming one super word-line."""
+
+    superblock_id: int
+    lwl: int
+    pages: int
+    completion_us: float
+    extra_us: float
+    speed_class: SpeedClass
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a page read."""
+
+    lpn: int
+    located: bool
+    latency_us: float
+    buffer_hit: bool = False
+
+
+class Ftl:
+    """Superblock FTL over a set of flash chips (one lane per chip)."""
+
+    def __init__(
+        self,
+        chips: Sequence[FlashChip],
+        config: FtlConfig = FtlConfig(),
+        allocator_kind: str = "qstr",
+        placement: PlacementPolicy = DEFAULT_POLICY,
+        seed: int = 0,
+    ):
+        if len(chips) < 2:
+            raise ValueError("need at least two chips (lanes)")
+        self.geometry = chips[0].geometry
+        for chip in chips[1:]:
+            if chip.geometry != self.geometry:
+                raise ValueError("all chips must share one geometry")
+        if config.usable_blocks_per_plane > self.geometry.blocks_per_plane:
+            raise ValueError("usable_blocks_per_plane exceeds the chip geometry")
+        if config.planes_used > self.geometry.planes_per_chip:
+            raise ValueError("planes_used exceeds the chip geometry")
+
+        self.config = config
+        self.placement = placement
+        self.chips: Dict[int, FlashChip] = {lane: chip for lane, chip in enumerate(chips)}
+        self.lanes = list(self.chips)
+        self.allocator: BlockAllocator = make_allocator(
+            allocator_kind,
+            self.geometry,
+            self.lanes,
+            candidate_depth=config.candidate_depth,
+            placement=placement,
+            seed=seed,
+        )
+        self.allocator_kind = allocator_kind
+
+        if config.parity_protection and len(self.lanes) < 3:
+            raise ValueError("parity protection needs at least three lanes")
+        data_lanes = len(self.lanes) - (1 if config.parity_protection else 0)
+        pages_per_block = self.geometry.pages_per_block
+        physical_pages = (
+            data_lanes
+            * config.planes_used
+            * config.usable_blocks_per_plane
+            * pages_per_block
+        )
+        self.logical_pages = int(physical_pages * (1.0 - config.overprovision_ratio))
+        self.mapper = PageMapper(self.logical_pages)
+        self.table = SuperblockTable(self.geometry)
+        superwl_pages = data_lanes * self.geometry.bits_per_cell
+        self.buffer = WriteBuffer(superwl_pages)
+        self.metrics = FtlMetrics()
+        self._formatted = False
+        self._in_gc = False
+        self._in_wear_rotation = False
+        self.predictor: Optional[SuperpagePredictor] = (
+            SuperpagePredictor(self.geometry, self.lanes)
+            if config.superpage_steering
+            else None
+        )
+        self._fast_pair: List[int] = []
+        self.wear_leveler: Optional[WearLeveler] = None
+        if config.wear_leveling is not None:
+            usable = [
+                (lane, plane, block)
+                for lane in self.lanes
+                for plane in range(config.planes_used)
+                for block in range(config.usable_blocks_per_plane)
+            ]
+            self.wear_leveler = WearLeveler(self.chips, usable, config.wear_leveling)
+
+    # -- format / bootstrap ------------------------------------------------------
+
+    def format(self) -> None:
+        """Burn-in pass: gather every usable block's metadata, list it free.
+
+        Each block is erased, fully programmed once (feeding the gatherer),
+        and erased again so it is ready for allocation — the two-P/E-cycle
+        cost the config's ``bootstrap_pe_budget`` documents.
+        """
+        if self._formatted:
+            raise RuntimeError("already formatted")
+        gatherer = GatheringUnit(self.geometry)
+        for lane, chip in self.chips.items():
+            for plane in range(self.config.planes_used):
+                for block in range(self.config.usable_blocks_per_plane):
+                    if chip.is_bad(plane, block):
+                        continue
+                    try:
+                        chip.erase_block(plane, block)
+                        gatherer.open_block(lane, plane, block, chip.pe_cycles(plane, block))
+                        record: Optional[BlockRecord] = None
+                        latencies: List[float] = []
+                        for lwl in range(self.geometry.lwls_per_block):
+                            latency = chip.program_wordline(plane, block, lwl).latency_us
+                            latencies.append(latency)
+                            record = gatherer.report(lane, plane, block, lwl, latency)
+                        chip.erase_block(plane, block)
+                    except EnduranceExceededError:
+                        gatherer.abandon_block(lane, plane, block)
+                        continue
+                    assert record is not None
+                    self.allocator.register_free(record)
+                    if self.predictor is not None:
+                        # warm-start the superpage predictor from the burn-in
+                        for lwl, latency in enumerate(latencies):
+                            self.predictor.observe(
+                                lane, lwl, latency, record.eigen[lwl]
+                            )
+        self._formatted = True
+
+    def _require_format(self) -> None:
+        if not self._formatted:
+            raise RuntimeError("call format() first")
+
+    # -- write path -------------------------------------------------------------------
+
+    def _stream_for(self, intent: WriteIntent) -> WriteStream:
+        speed_class = self.placement.classify(intent)
+        if speed_class is SpeedClass.SLOW:
+            return WriteStream.SLOW
+        if (
+            self.config.superpage_steering
+            and intent.source is WriteSource.HOST
+            and self.predictor is not None
+            and self.predictor.ready()
+        ):
+            if self.placement.prefers_fast_superpage(intent):
+                return WriteStream.FAST_EXPRESS
+            return WriteStream.FAST_BULK
+        return WriteStream.FAST
+
+    def write(
+        self,
+        lpn: int,
+        source: WriteSource = WriteSource.HOST,
+        intent: Optional[WriteIntent] = None,
+    ) -> List[FlushReport]:
+        """Queue one page write; returns the flushes it triggered (may be []).
+
+        ``intent`` carries the request shape (page count, sequentiality) the
+        superpage-steering mode uses; it defaults to a bare single-page
+        intent of the given source.
+        """
+        self._require_format()
+        self.mapper.check_lpn(lpn)
+        if intent is None:
+            intent = WriteIntent(source=source)
+        elif intent.source is not source:
+            raise ValueError("intent.source must match source")
+        stream = self._stream_for(intent)
+        # Coalesce: an lpn rewritten while still buffered keeps only the
+        # newest copy, like a real DRAM write buffer.
+        self.buffer.drop_lpn(lpn)
+        self.buffer.push(stream, BufferedPage(lpn=lpn, source=source))
+        reports: List[FlushReport] = []
+        while self.buffer.has_full_superwl(stream):
+            reports.append(self._flush_superwl(stream))
+        if source is not WriteSource.GC:
+            self._maybe_collect()
+        return reports
+
+    def flush(self) -> List[FlushReport]:
+        """Drain all buffered pages (padding final partial super word-lines)."""
+        self._require_format()
+        reports: List[FlushReport] = []
+        for stream in list(WriteStream):
+            while self.buffer.pending(stream):
+                reports.append(self._flush_superwl(stream, allow_partial=True))
+        self._maybe_collect()
+        return reports
+
+    def _allocate_superblock(self, speed_class: SpeedClass) -> ManagedSuperblock:
+        try:
+            members = self.allocator.allocate(speed_class)
+        except AllocationError as error:
+            raise OutOfSpaceError(str(error)) from error
+        sb = self.table.create(speed_class, members, self.config.parity_protection)
+        for record in members:
+            chip = self.chips[record.lane]
+            self.allocator.on_block_allocated(
+                record.lane,
+                record.plane,
+                record.block,
+                chip.pe_cycles(record.plane, record.block),
+            )
+        self.metrics.superblocks_opened += 1
+        return sb
+
+    def _open_superblock(self, speed_class: SpeedClass) -> ManagedSuperblock:
+        sb = self.table.open_superblock(speed_class)
+        if sb is not None and not sb.is_full:
+            return sb
+        sb = self._allocate_superblock(speed_class)
+        self.table.set_open(speed_class, sb)
+        return sb
+
+    def _open_steered_pair(self) -> List[ManagedSuperblock]:
+        """The two open fast superblocks the express/bulk streams share."""
+        self._fast_pair = [
+            sb_id
+            for sb_id in self._fast_pair
+            if sb_id in {sb.sb_id for sb in self.table} and not self.table.get(sb_id).is_full
+        ]
+        while len(self._fast_pair) < 2:
+            self._fast_pair.append(self._allocate_superblock(SpeedClass.FAST).sb_id)
+        return [self.table.get(sb_id) for sb_id in self._fast_pair]
+
+    def _pick_steered_superblock(self, stream: WriteStream) -> ManagedSuperblock:
+        """Express takes the faster predicted next super word-line; bulk the other."""
+        pair = self._open_steered_pair()
+        assert self.predictor is not None
+        per_swl = pair[0].pages_per_superwl
+        predictions = [
+            self.predictor.predict_superwl(sb.members, sb.next_slot // per_swl)
+            for sb in pair
+        ]
+        express_index = int(predictions[0] > predictions[1])
+        if stream is WriteStream.FAST_EXPRESS:
+            return pair[express_index]
+        return pair[1 - express_index]
+
+    def _superblock_for(self, stream: WriteStream) -> ManagedSuperblock:
+        if stream.steered:
+            return self._pick_steered_superblock(stream)
+        return self._open_superblock(stream.speed_class)
+
+    def _flush_superwl(
+        self, stream: WriteStream, allow_partial: bool = False
+    ) -> FlushReport:
+        speed_class = stream.speed_class
+        sb = self._superblock_for(stream)
+        batch = self.buffer.pop_superwl(stream, allow_partial)
+        slots = sb.claim_slots(sb.pages_per_superwl)
+        lwl = sb.slot_location(slots[0]).lwl
+
+        # Assign buffered pages to slots in order; trailing slots stay unmapped.
+        payload_by_lane: Dict[int, Dict] = {i: {} for i in range(sb.lane_count)}
+        for page, slot in zip(batch, slots):
+            location = sb.slot_location(slot)
+            self.mapper.map_page(page.lpn, PhysicalSlot(sb.sb_id, slot))
+            payload_by_lane[location.lane_index][location.page_type] = page.lpn
+        if sb.parity:
+            # RAID-4 row parity: the parity page of each page type records
+            # the whole data row, enough to rebuild any single lane.
+            parity_index = sb.parity_lane_index
+            for page_type in self.geometry.page_types:
+                row = tuple(
+                    payload_by_lane[i].get(page_type)
+                    for i in range(sb.data_lane_count)
+                )
+                payload_by_lane[parity_index][page_type] = ("PARITY", row)
+
+        latencies: List[float] = []
+        for lane_index, record in enumerate(sb.members):
+            chip = self.chips[record.lane]
+            result = chip.program_wordline(
+                record.plane, record.block, lwl, payload_by_lane[lane_index]
+            )
+            latencies.append(result.latency_us)
+            self.allocator.on_wordline_programmed(
+                record.lane, record.plane, record.block, lwl, result.latency_us
+            )
+            if self.predictor is not None:
+                self.predictor.observe(
+                    record.lane, lwl, result.latency_us, record.eigen[lwl]
+                )
+        completion = max(latencies)
+        extra = completion - min(latencies)
+
+        host_pages = sum(1 for page in batch if page.source is not WriteSource.GC)
+        gc_pages = len(batch) - host_pages
+        self.metrics.host_pages_written += host_pages
+        self.metrics.gc_pages_written += gc_pages
+        if host_pages:
+            self.metrics.host_write_us.add(completion)
+        else:
+            self.metrics.gc_write_us.add(completion)
+        self.metrics.extra_program_us.add(extra)
+        self.metrics.record_stream_write(stream.value, completion)
+
+        if sb.is_full:
+            sb.seal()
+            if stream.steered:
+                self._fast_pair = [
+                    sb_id for sb_id in self._fast_pair if sb_id != sb.sb_id
+                ]
+            else:
+                self.table.set_open(speed_class, None)
+        return FlushReport(
+            superblock_id=sb.sb_id,
+            lwl=lwl,
+            pages=len(batch),
+            completion_us=completion,
+            extra_us=extra,
+            speed_class=speed_class,
+        )
+
+    # -- read path -----------------------------------------------------------------------
+
+    def read(self, lpn: int) -> ReadResult:
+        """Read one page; verifies stored payload integrity.
+
+        With parity protection on, an uncorrectable page read degrades to a
+        row reconstruction instead of failing.
+        """
+        self._require_format()
+        self.mapper.check_lpn(lpn)
+        if lpn in self.buffer.buffered_lpns():
+            return ReadResult(lpn=lpn, located=True, latency_us=0.0, buffer_hit=True)
+        location = self.mapper.lookup(lpn)
+        if location is None:
+            return ReadResult(lpn=lpn, located=False, latency_us=0.0)
+        sb = self.table.get(location.superblock_id)
+        slot = sb.slot_location(location.slot)
+        payload, latency = self._read_physical(sb, slot, location.slot)
+        if payload != lpn:
+            raise IntegrityError(
+                f"lpn {lpn} at sb{sb.sb_id}/slot{location.slot} returned {payload!r}"
+            )
+        self.metrics.pages_read += 1
+        self.metrics.host_read_us.add(latency)
+        return ReadResult(lpn=lpn, located=True, latency_us=latency)
+
+    def _read_physical(self, sb, slot, slot_index: int):
+        """Read one data page, reconstructing from parity if ECC gives up."""
+        record = sb.members[slot.lane_index]
+        chip = self.chips[record.lane]
+        try:
+            result, payload = chip.read_page(
+                record.plane, record.block, slot.lwl, slot.page_type
+            )
+            return payload, result.latency_us
+        except UncorrectableReadError as error:
+            if not sb.parity:
+                raise
+            return self._reconstruct(sb, slot, slot_index, wasted_us=error.latency_us)
+
+    def _reconstruct(self, sb, slot, slot_index: int, wasted_us: float = 0.0):
+        """RAID-4 degraded read: rebuild one lane's page from the parity row.
+
+        Charges the failed attempt (``wasted_us``) plus the parity page and
+        every surviving data lane (those reads proceed in parallel across
+        chips, so their cost is the maximum).
+        """
+        parity_record = sb.members[sb.parity_lane_index]
+        parity_chip = self.chips[parity_record.lane]
+        latencies = []
+        try:
+            result, parity_payload = parity_chip.read_page(
+                parity_record.plane, parity_record.block, slot.lwl, slot.page_type
+            )
+        except UncorrectableReadError as error:
+            raise IntegrityError(
+                f"double failure: data and parity unreadable at "
+                f"sb{sb.sb_id}/slot{slot_index}"
+            ) from error
+        latencies.append(result.latency_us)
+        if not (isinstance(parity_payload, tuple) and parity_payload[0] == "PARITY"):
+            raise IntegrityError(
+                f"parity page at sb{sb.sb_id}/wl{slot.lwl} holds {parity_payload!r}"
+            )
+        # Touch the surviving data lanes (their content feeds the XOR on a
+        # real drive; here the row snapshot already carries the answer).
+        for index in range(sb.data_lane_count):
+            if index == slot.lane_index:
+                continue
+            peer = sb.members[index]
+            peer_chip = self.chips[peer.lane]
+            try:
+                peer_result, _ = peer_chip.read_page(
+                    peer.plane, peer.block, slot.lwl, slot.page_type
+                )
+                latencies.append(peer_result.latency_us)
+            except UncorrectableReadError as error:
+                raise IntegrityError(
+                    f"double failure during reconstruction at sb{sb.sb_id}"
+                ) from error
+        self.metrics.parity_reconstructions += 1
+        value = parity_payload[1][slot.lane_index]
+        return value, wasted_us + max(latencies)
+
+    def trim(self, lpn: int) -> None:
+        """Invalidate a logical page."""
+        self._require_format()
+        self.buffer.drop_lpn(lpn)
+        self.mapper.unmap_page(lpn)
+
+    # -- garbage collection --------------------------------------------------------------
+
+    def _maybe_collect(self) -> None:
+        if self._in_gc:
+            return
+        self._in_gc = True
+        # Stall guard: on a device provisioned so tightly that the high
+        # watermark is unreachable, GC must not spin forever making ~zero
+        # net progress — give up after a few non-improving rounds and let
+        # the write path proceed (or hit OutOfSpaceError honestly).
+        stalled = 0
+        best_free = self.allocator.min_free()
+        try:
+            while self.allocator.min_free() < self.config.gc_low_watermark:
+                if not self._collect_once():
+                    break
+                current = self.allocator.min_free()
+                if current > best_free:
+                    best_free = current
+                    stalled = 0
+                else:
+                    stalled += 1
+                    if stalled >= 4:
+                        break
+                if current >= self.config.gc_high_watermark:
+                    break
+        finally:
+            self._in_gc = False
+
+    def _pick_victim(self) -> Optional[ManagedSuperblock]:
+        # A fully-valid victim reclaims nothing: relocating it consumes as
+        # many pages as the erase frees, so GC would thrash forever.
+        candidates = [
+            sb
+            for sb in self.table.sealed()
+            if self.mapper.valid_count(sb.sb_id) < sb.capacity_pages
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda sb: (self.mapper.valid_count(sb.sb_id), sb.sb_id)
+        )
+
+    def _collect_once(self) -> bool:
+        """Relocate one victim superblock's valid pages and erase it."""
+        victim = self._pick_victim()
+        if victim is None:
+            return False
+        self.metrics.gc_runs += 1
+        self._reclaim(victim)
+        return True
+
+    def _reclaim(self, victim: ManagedSuperblock) -> None:
+        # Relocate valid pages into the GC stream and drain it fully,
+        # so no mapping still points into the victim when it is erased.
+        gc_class = self.placement.classify(WriteIntent(source=WriteSource.GC))
+        gc_stream = WriteStream.SLOW if gc_class is SpeedClass.SLOW else WriteStream.FAST
+        for slot, lpn in self.mapper.valid_slots(victim.sb_id):
+            location = victim.slot_location(slot)
+            payload, latency = self._read_physical(victim, location, slot)
+            if payload != lpn:
+                raise IntegrityError(
+                    f"GC read of lpn {lpn} returned {payload!r} "
+                    f"(sb{victim.sb_id}/slot{slot})"
+                )
+            self.metrics.gc_read_us.add(latency)
+            self.buffer.push(gc_stream, BufferedPage(lpn=lpn, source=WriteSource.GC))
+            while self.buffer.has_full_superwl(gc_stream):
+                self._flush_superwl(gc_stream)
+        while self.buffer.pending(gc_stream):
+            self._flush_superwl(gc_stream, allow_partial=True)
+
+        # Erase every member; completion is the slowest erase (MP semantics).
+        latencies: List[float] = []
+        survivors: List[BlockRecord] = []
+        for record in victim.members:
+            chip = self.chips[record.lane]
+            try:
+                latencies.append(
+                    chip.erase_block(record.plane, record.block).latency_us
+                )
+                survivors.append(record)
+            except EnduranceExceededError:
+                self.allocator.on_block_retired(record.lane, record.plane, record.block)
+                self.metrics.blocks_retired += 1
+        if latencies:
+            self.metrics.erase_us.add(max(latencies))
+            if len(latencies) > 1:
+                self.metrics.extra_erase_us.add(max(latencies) - min(latencies))
+        for record in survivors:
+            self.allocator.on_block_freed(record.lane, record.plane, record.block)
+
+        self.mapper.drop_superblock(victim.sb_id)
+        victim.mark_erased()
+        self.table.forget(victim.sb_id)
+        self.metrics.superblocks_erased += 1
+        self._maybe_wear_level()
+
+    # -- wear leveling ---------------------------------------------------------------------
+
+    def _maybe_wear_level(self) -> None:
+        """Rotate the coldest sealed superblock when wear spread grows."""
+        leveler = self.wear_leveler
+        if leveler is None or self._in_wear_rotation:
+            return
+        if not leveler.note_erase():
+            return
+        if not leveler.gap_exceeded():
+            return
+        candidates = (
+            (
+                sb.sb_id,
+                [(r.lane, r.plane, r.block) for r in sb.members],
+            )
+            for sb in self.table.sealed()
+        )
+        victim_id = leveler.coldest_superblock(candidates)
+        if victim_id is None:
+            return
+        # The rotation needs at least one free block per lane to relocate into.
+        if self.allocator.min_free() < 1:
+            return
+        self._in_wear_rotation = True
+        try:
+            self._reclaim(self.table.get(victim_id))
+        finally:
+            self._in_wear_rotation = False
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def free_block_counts(self) -> Dict[int, int]:
+        return {lane: self.allocator.free_count(lane) for lane in self.lanes}
+
+    def utilization(self) -> float:
+        """Fraction of the logical space currently mapped."""
+        return self.mapper.mapped_pages / self.logical_pages

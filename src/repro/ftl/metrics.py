@@ -1,0 +1,78 @@
+"""FTL runtime metrics.
+
+Latency accounting separates what the host sees (superpage program
+completions, page reads) from background work (GC reads/writes, erases),
+and tracks the paper's headline quantities: accumulated extra program and
+erase latency of the superblocks the FTL actually formed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.stats import RunningStats
+
+
+@dataclass
+class FtlMetrics:
+    """Counters and latency accumulators of one FTL instance."""
+
+    host_write_us: RunningStats = field(default_factory=RunningStats)
+    host_read_us: RunningStats = field(default_factory=RunningStats)
+    gc_write_us: RunningStats = field(default_factory=RunningStats)
+    gc_read_us: RunningStats = field(default_factory=RunningStats)
+    erase_us: RunningStats = field(default_factory=RunningStats)
+    # per-MP-command extra (max - min) latencies
+    extra_program_us: RunningStats = field(default_factory=RunningStats)
+    extra_erase_us: RunningStats = field(default_factory=RunningStats)
+
+    # per-stream superpage completion latency (fast / fast_express / ...)
+    stream_write_us: Dict[str, RunningStats] = field(default_factory=dict)
+
+    host_pages_written: int = 0
+    gc_pages_written: int = 0
+    pages_read: int = 0
+    superblocks_opened: int = 0
+    superblocks_erased: int = 0
+    gc_runs: int = 0
+    blocks_retired: int = 0
+    parity_reconstructions: int = 0
+
+    def record_stream_write(self, stream: str, completion_us: float) -> None:
+        """Track one superpage program completion under its stream label."""
+        stats = self.stream_write_us.get(stream)
+        if stats is None:
+            stats = RunningStats()
+            self.stream_write_us[stream] = stats
+        stats.add(completion_us)
+
+    @property
+    def write_amplification(self) -> float:
+        """(host + GC pages) / host pages; 1.0 means no relocation traffic."""
+        if self.host_pages_written == 0:
+            return 0.0
+        return (self.host_pages_written + self.gc_pages_written) / self.host_pages_written
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for reports and benches."""
+        def mean_or_zero(stats: RunningStats) -> float:
+            return stats.mean if stats.count else 0.0
+
+        return {
+            "host_pages_written": float(self.host_pages_written),
+            "gc_pages_written": float(self.gc_pages_written),
+            "pages_read": float(self.pages_read),
+            "write_amplification": self.write_amplification,
+            "host_write_mean_us": mean_or_zero(self.host_write_us),
+            "host_read_mean_us": mean_or_zero(self.host_read_us),
+            "gc_write_mean_us": mean_or_zero(self.gc_write_us),
+            "erase_mean_us": mean_or_zero(self.erase_us),
+            "extra_program_mean_us": mean_or_zero(self.extra_program_us),
+            "extra_erase_mean_us": mean_or_zero(self.extra_erase_us),
+            "superblocks_opened": float(self.superblocks_opened),
+            "superblocks_erased": float(self.superblocks_erased),
+            "gc_runs": float(self.gc_runs),
+            "blocks_retired": float(self.blocks_retired),
+            "parity_reconstructions": float(self.parity_reconstructions),
+        }

@@ -1,0 +1,111 @@
+"""Superpage write coalescing.
+
+The FTL buffers incoming page writes per *stream* and releases them one
+super word-line at a time (lanes x pages-per-LWL pages), which is the
+granularity MP program commands want.  Mirrors the DRAM data buffer of a
+real SSD (Section II).
+
+Streams separate traffic that must land in different superblocks: the
+default host stream, the GC stream, and — when superpage steering is on —
+the express (small random) and bulk (large batch) host streams of
+Section V-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Hashable, List
+
+from repro.core.assembler import SpeedClass
+from repro.core.placement import WriteSource
+
+
+class WriteStream(Enum):
+    """Where a buffered page is headed."""
+
+    FAST = "fast"
+    FAST_EXPRESS = "fast_express"
+    FAST_BULK = "fast_bulk"
+    SLOW = "slow"
+
+    @property
+    def speed_class(self) -> SpeedClass:
+        return SpeedClass.SLOW if self is WriteStream.SLOW else SpeedClass.FAST
+
+    @property
+    def steered(self) -> bool:
+        """True for the express/bulk pair that shares the fast open set."""
+        return self in (WriteStream.FAST_EXPRESS, WriteStream.FAST_BULK)
+
+
+@dataclass(frozen=True)
+class BufferedPage:
+    """One page waiting to be flushed."""
+
+    lpn: int
+    source: WriteSource
+
+
+class WriteBuffer:
+    """Per-stream FIFO of pages awaiting a full super word-line."""
+
+    def __init__(self, superwl_pages: int):
+        if superwl_pages < 1:
+            raise ValueError("superwl_pages must be >= 1")
+        self.superwl_pages = superwl_pages
+        self._queues: Dict[Hashable, List[BufferedPage]] = {}
+
+    def _queue(self, stream: Hashable) -> List[BufferedPage]:
+        return self._queues.setdefault(stream, [])
+
+    def push(self, stream: Hashable, page: BufferedPage) -> None:
+        self._queue(stream).append(page)
+
+    def pending(self, stream: Hashable) -> int:
+        return len(self._queues.get(stream, ()))
+
+    def total_pending(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def streams(self) -> List[Hashable]:
+        """Streams that currently hold pages."""
+        return [stream for stream, queue in self._queues.items() if queue]
+
+    def has_full_superwl(self, stream: Hashable) -> bool:
+        return self.pending(stream) >= self.superwl_pages
+
+    def pop_superwl(self, stream: Hashable, allow_partial: bool = False) -> List[BufferedPage]:
+        """Take one super word-line's worth of pages (FIFO order).
+
+        With ``allow_partial`` a shorter final batch is returned (used when
+        draining); otherwise a full batch must be available.
+        """
+        queue = self._queues.get(stream)
+        if not queue:
+            raise ValueError(f"no pending pages for {stream!r}")
+        if len(queue) < self.superwl_pages and not allow_partial:
+            raise ValueError(
+                f"only {len(queue)} pages pending for {stream!r}, "
+                f"{self.superwl_pages} needed"
+            )
+        batch = queue[: self.superwl_pages]
+        del queue[: self.superwl_pages]
+        return batch
+
+    def drop_lpn(self, lpn: int) -> int:
+        """Remove any buffered copies of ``lpn`` (TRIM); returns count dropped."""
+        dropped = 0
+        for queue in self._queues.values():
+            kept = [page for page in queue if page.lpn != lpn]
+            dropped += len(queue) - len(kept)
+            queue[:] = kept
+        return dropped
+
+    def buffered_lpns(self) -> Dict[int, Hashable]:
+        """Latest buffered stream per lpn (for read-from-buffer hits)."""
+        result: Dict[int, Hashable] = {}
+        for stream, queue in self._queues.items():
+            for page in queue:
+                result[page.lpn] = stream
+        return result

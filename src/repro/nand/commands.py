@@ -1,0 +1,166 @@
+"""Typed flash command set.
+
+A thin, declarative layer over :class:`FlashChip`: controllers build
+:class:`FlashCommand` values (single-plane or multi-plane read / program /
+erase), and :func:`execute` dispatches them and returns a uniform
+:class:`CommandResult` with completion latency and — for multi-plane
+commands — the extra latency the paper studies.  Keeping commands as data
+lets the SSD layer queue, log, and replay them, and makes MP-command
+semantics (completion = slowest plane) a property of the command layer
+rather than scattered call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.nand.chip import FlashChip
+from repro.nand.errors import MultiPlaneError
+from repro.nand.geometry import PageType
+
+
+class CommandKind(Enum):
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+
+
+@dataclass(frozen=True)
+class ReadTarget:
+    plane: int
+    block: int
+    lwl: int
+    page_type: PageType
+
+
+@dataclass(frozen=True)
+class ProgramTarget:
+    plane: int
+    block: int
+    lwl: int
+    data: Optional[Dict[PageType, object]] = None
+
+
+@dataclass(frozen=True)
+class EraseTarget:
+    plane: int
+    block: int
+
+
+Target = Union[ReadTarget, ProgramTarget, EraseTarget]
+
+_KIND_OF_TARGET = {
+    ReadTarget: CommandKind.READ,
+    ProgramTarget: CommandKind.PROGRAM,
+    EraseTarget: CommandKind.ERASE,
+}
+
+
+@dataclass(frozen=True)
+class FlashCommand:
+    """One chip command: a kind plus one target per plane.
+
+    Two or more targets make it a multi-plane command (Section II-A): it
+    completes when the slowest plane finishes.
+    """
+
+    kind: CommandKind
+    targets: Tuple[Target, ...]
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise MultiPlaneError("command needs at least one target")
+        for target in self.targets:
+            expected = _KIND_OF_TARGET[type(target)]
+            if expected is not self.kind:
+                raise MultiPlaneError(
+                    f"{type(target).__name__} does not belong in a "
+                    f"{self.kind.value} command"
+                )
+        planes = [target.plane for target in self.targets]
+        if len(set(planes)) != len(planes):
+            raise MultiPlaneError(f"duplicate planes: {planes}")
+
+    @property
+    def is_multi_plane(self) -> bool:
+        return len(self.targets) > 1
+
+
+def read_command(*targets: ReadTarget) -> FlashCommand:
+    return FlashCommand(CommandKind.READ, tuple(targets))
+
+
+def program_command(*targets: ProgramTarget) -> FlashCommand:
+    return FlashCommand(CommandKind.PROGRAM, tuple(targets))
+
+
+def erase_command(*targets: EraseTarget) -> FlashCommand:
+    return FlashCommand(CommandKind.ERASE, tuple(targets))
+
+
+@dataclass(frozen=True)
+class CommandResult:
+    """Uniform outcome of a flash command."""
+
+    kind: CommandKind
+    completion_us: float
+    plane_latencies_us: Tuple[float, ...]
+    payloads: Tuple[object, ...] = ()
+
+    @property
+    def extra_latency_us(self) -> float:
+        """Time fast planes spent waiting for the slowest (0 if single-plane)."""
+        if len(self.plane_latencies_us) < 2:
+            return 0.0
+        return max(self.plane_latencies_us) - min(self.plane_latencies_us)
+
+
+def execute(chip: FlashChip, command: FlashCommand) -> CommandResult:
+    """Run a command on a chip; MP completion is the slowest plane."""
+    latencies: List[float] = []
+    payloads: List[object] = []
+    if command.kind is CommandKind.ERASE:
+        for target in command.targets:
+            latencies.append(chip.erase_block(target.plane, target.block).latency_us)
+    elif command.kind is CommandKind.PROGRAM:
+        for target in command.targets:
+            latencies.append(
+                chip.program_wordline(
+                    target.plane, target.block, target.lwl, target.data
+                ).latency_us
+            )
+    else:
+        for target in command.targets:
+            result, payload = chip.read_page(
+                target.plane, target.block, target.lwl, target.page_type
+            )
+            latencies.append(result.latency_us)
+            payloads.append(payload)
+    return CommandResult(
+        kind=command.kind,
+        completion_us=max(latencies),
+        plane_latencies_us=tuple(latencies),
+        payloads=tuple(payloads),
+    )
+
+
+class CommandLog:
+    """Optional recorder: every executed command with its result."""
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[FlashCommand, CommandResult]] = []
+
+    def execute(self, chip: FlashChip, command: FlashCommand) -> CommandResult:
+        result = execute(chip, command)
+        self.entries.append((command, result))
+        return result
+
+    def total_extra_latency_us(self) -> float:
+        return sum(result.extra_latency_us for _, result in self.entries)
+
+    def count(self, kind: Optional[CommandKind] = None) -> int:
+        if kind is None:
+            return len(self.entries)
+        return sum(1 for command, _ in self.entries if command.kind is kind)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the NAND device model.
+
+The flash chip enforces the same ordering/addressing rules real NAND does
+(erase-before-program, sequential word-line programming, address bounds,
+endurance limits); violations raise typed errors so the FTL above — and the
+test-suite — can distinguish programming bugs from device wear-out.
+"""
+
+from __future__ import annotations
+
+
+class FlashError(Exception):
+    """Base class for all NAND device errors."""
+
+
+class AddressError(FlashError):
+    """An address component is outside the chip geometry."""
+
+
+class ProgramOrderError(FlashError):
+    """Word-lines of a block must be programmed in ascending LWL order."""
+
+
+class ProgramStateError(FlashError):
+    """Programming a word-line that is not in the erased state."""
+
+
+class EraseStateError(FlashError):
+    """Erasing a block in an invalid state (e.g. already retired)."""
+
+
+class BadBlockError(FlashError):
+    """Operation issued to a factory-bad or retired block."""
+
+
+class EnduranceExceededError(BadBlockError):
+    """The block wore out: erase failed beyond its endurance budget."""
+
+
+class ReadStateError(FlashError):
+    """Reading a page that was never programmed."""
+
+
+class UncorrectableReadError(FlashError):
+    """A page's raw bit errors exceeded the ECC engine's strength.
+
+    Carries the latency the failed attempt burned (sense plus every retry),
+    so recovery paths can account for it.
+    """
+
+    def __init__(self, message: str, latency_us: float = 0.0):
+        super().__init__(message)
+        self.latency_us = latency_us
+
+
+class MultiPlaneError(FlashError):
+    """Malformed multi-plane command (duplicate planes, mixed ops, ...)."""

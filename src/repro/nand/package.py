@@ -1,0 +1,91 @@
+"""Flash packages: multiple dies behind one chip-enable-selectable package.
+
+The paper's testbed (Table IV) mixes DDP (dual-die) and QDP (quad-die)
+packages on two channels; a chip-enable (CE) line selects the die.  This
+module models a package as an ordered list of :class:`FlashChip` dies and
+provides the testbed construction helpers the characterization benches use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.nand.chip import FlashChip
+from repro.nand.variation import VariationModel
+
+
+@dataclass(frozen=True)
+class PackageSpec:
+    """Static description of one package on the testbed."""
+
+    name: str
+    channel: int
+    dies: int
+
+    def __post_init__(self) -> None:
+        if self.dies not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported die count {self.dies}")
+
+
+class FlashPackage:
+    """A NAND package: several dies sharing a channel, selected by CE."""
+
+    def __init__(self, spec: PackageSpec, dies: Sequence[FlashChip]):
+        if len(dies) != spec.dies:
+            raise ValueError(f"{spec.name}: expected {spec.dies} dies, got {len(dies)}")
+        self.spec = spec
+        self._dies = list(dies)
+
+    def die(self, ce: int) -> FlashChip:
+        """The die selected by chip-enable ``ce``."""
+        if not 0 <= ce < len(self._dies):
+            raise ValueError(f"CE {ce} out of range [0, {len(self._dies)})")
+        return self._dies[ce]
+
+    @property
+    def dies(self) -> List[FlashChip]:
+        return list(self._dies)
+
+    def __len__(self) -> int:
+        return len(self._dies)
+
+
+def build_package(model: VariationModel, spec: PackageSpec, first_chip_id: int) -> FlashPackage:
+    """Create a package whose dies take consecutive chip ids."""
+    dies = [
+        FlashChip(model.chip_profile(first_chip_id + i), model.geometry)
+        for i in range(spec.dies)
+    ]
+    return FlashPackage(spec, dies)
+
+
+# The paper's testbed (Table IV): 4 DDP + 4 QDP packages -> 24 dies total.
+PAPER_TESTBED_SPECS = (
+    PackageSpec("DDP #1-1", channel=0, dies=2),
+    PackageSpec("DDP #1-2", channel=2, dies=2),
+    PackageSpec("DDP #2-1", channel=0, dies=2),
+    PackageSpec("DDP #2-2", channel=2, dies=2),
+    PackageSpec("QDP #1-1", channel=0, dies=4),
+    PackageSpec("QDP #1-2", channel=2, dies=4),
+    PackageSpec("QDP #2-1", channel=0, dies=4),
+    PackageSpec("QDP #2-2", channel=2, dies=4),
+)
+
+
+def build_paper_testbed(model: VariationModel) -> List[FlashPackage]:
+    """All eight packages of Table IV, 24 dies with distinct chip ids."""
+    packages: List[FlashPackage] = []
+    next_id = 0
+    for spec in PAPER_TESTBED_SPECS:
+        packages.append(build_package(model, spec, next_id))
+        next_id += spec.dies
+    return packages
+
+
+def testbed_chips(packages: Sequence[FlashPackage]) -> List[FlashChip]:
+    """Flatten packages into the full die list (24 chips for the paper testbed)."""
+    chips: List[FlashChip] = []
+    for package in packages:
+        chips.extend(package.dies)
+    return chips

@@ -1,0 +1,165 @@
+"""Raw bit-error-rate model and ECC engine.
+
+Completes the SSD substrate of Section II: every page read passes through an
+error-correction engine.  The raw bit error rate (RBER) follows the shape
+the characterization literature reports (and the paper leans on in Section
+VI-C, where high P/E cycles mean "elevated bit error rates"):
+
+* grows exponentially with P/E cycles;
+* grows with retention time since the block was programmed (what the
+  paper's high-temperature data-retention bakes accelerate);
+* is worse on higher-significance pages (MSB > CSB > LSB);
+* varies layer-to-layer and block-to-block with the same process-variation
+  texture as the latencies (slow cells are leaky cells: the block's latent
+  coordinate shifts its RBER).
+
+The :class:`EccEngine` models a BCH/LDPC-class code: a page splits into
+codewords that each correct up to ``t`` bits; a codeword with more raw
+errors triggers a read-retry (re-read with shifted thresholds, halving the
+effective RBER per attempt, at extra latency) and finally an uncorrectable
+error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nand.geometry import NandGeometry, PageType
+
+
+@dataclass(frozen=True)
+class ReliabilityParams:
+    """RBER shape parameters."""
+
+    base_rber: float = 2e-6
+    pe_scale_cycles: float = 700.0  # RBER e-folds per this many P/E cycles
+    retention_scale_hours: float = 400.0
+    page_type_factor_step: float = 1.8  # multiplier per significance level
+    sigma_layer_log: float = 0.35  # layer-to-layer spread (log-space)
+    latent_log_coupling: float = 0.25  # leaky-cell coupling to the speed latent
+    sigma_block_log: float = 0.30
+
+    def __post_init__(self) -> None:
+        if not 0 < self.base_rber < 1:
+            raise ValueError("base_rber must be in (0, 1)")
+        if self.pe_scale_cycles <= 0 or self.retention_scale_hours <= 0:
+            raise ValueError("scales must be positive")
+        if self.page_type_factor_step < 1.0:
+            raise ValueError("page_type_factor_step must be >= 1")
+
+
+def rber(
+    params: ReliabilityParams,
+    pe: int,
+    retention_hours: float,
+    page_type: PageType,
+    layer_factor_log: float = 0.0,
+    block_factor_log: float = 0.0,
+) -> float:
+    """Raw bit error rate for one page."""
+    if pe < 0 or retention_hours < 0:
+        raise ValueError("pe and retention must be non-negative")
+    log_rate = (
+        math.log(params.base_rber)
+        + pe / params.pe_scale_cycles
+        + retention_hours / params.retention_scale_hours
+        + page_type.value * math.log(params.page_type_factor_step)
+        + layer_factor_log
+        + block_factor_log
+    )
+    return float(min(0.5, math.exp(log_rate)))
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Code geometry: codewords per page and correction strength."""
+
+    codeword_bytes: int = 1024
+    correctable_bits: int = 72
+    max_read_retries: int = 3
+    retry_rber_factor: float = 0.5  # threshold tuning per retry
+    retry_latency_us: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.codeword_bytes <= 0:
+            raise ValueError("codeword_bytes must be positive")
+        if self.correctable_bits < 1:
+            raise ValueError("correctable_bits must be >= 1")
+        if self.max_read_retries < 0:
+            raise ValueError("max_read_retries must be >= 0")
+        if not 0 < self.retry_rber_factor <= 1:
+            raise ValueError("retry_rber_factor must be in (0, 1]")
+
+    def codewords_per_page(self, geometry: NandGeometry) -> int:
+        return max(1, math.ceil(geometry.page_user_bytes / self.codeword_bytes))
+
+    @property
+    def codeword_bits(self) -> int:
+        return self.codeword_bytes * 8
+
+
+@dataclass(frozen=True)
+class ReadCorrection:
+    """Outcome of pushing one page read through the ECC engine."""
+
+    corrected_bits: int
+    retries: int
+    extra_latency_us: float
+    uncorrectable: bool
+
+
+class EccEngine:
+    """Samples raw errors per codeword and applies correction + retries."""
+
+    def __init__(self, config: EccConfig, geometry: NandGeometry):
+        self.config = config
+        self.geometry = geometry
+        self._codewords = config.codewords_per_page(geometry)
+        #: total pages read through the engine
+        self.pages_read = 0
+        #: total retry rounds issued
+        self.total_retries = 0
+        #: pages that exhausted retries
+        self.uncorrectable_pages = 0
+
+    def read_page(self, page_rber: float, rng: np.random.Generator) -> ReadCorrection:
+        """Correct one page whose cells flip with probability ``page_rber``."""
+        if not 0 <= page_rber <= 0.5:
+            raise ValueError("page_rber must be in [0, 0.5]")
+        config = self.config
+        self.pages_read += 1
+        effective = page_rber
+        retries = 0
+        while True:
+            errors = rng.binomial(config.codeword_bits, effective, size=self._codewords)
+            worst = int(errors.max())
+            if worst <= config.correctable_bits:
+                extra = retries * config.retry_latency_us
+                self.total_retries += retries
+                return ReadCorrection(
+                    corrected_bits=int(errors.sum()),
+                    retries=retries,
+                    extra_latency_us=extra,
+                    uncorrectable=False,
+                )
+            if retries >= config.max_read_retries:
+                self.total_retries += retries
+                self.uncorrectable_pages += 1
+                return ReadCorrection(
+                    corrected_bits=0,
+                    retries=retries,
+                    extra_latency_us=retries * config.retry_latency_us,
+                    uncorrectable=True,
+                )
+            retries += 1
+            effective *= config.retry_rber_factor
+
+    @property
+    def retry_rate(self) -> float:
+        """Retry rounds per page read."""
+        if self.pages_read == 0:
+            return 0.0
+        return self.total_retries / self.pages_read

@@ -1,0 +1,169 @@
+"""The SSD device: host request service on top of the FTL.
+
+A request-at-a-time timing simulator: host requests arrive with timestamps,
+pages move over per-channel buses (serialized per channel), flash operations
+take the latencies the chips report, and MP-style superpage programs
+complete at their slowest lane — so the extra latency the paper studies
+shows up directly in host-visible service times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.placement import WriteIntent, WriteSource
+from repro.ftl.ftl import FlushReport, Ftl
+from repro.ssd.timing import ResourceClock, TimingConfig, default_lane_channel_map
+from repro.utils.stats import RunningStats
+from repro.workloads.model import OpKind, Request
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """Service record of one host request."""
+
+    request: Request
+    start_us: float
+    finish_us: float
+
+    @property
+    def latency_us(self) -> float:
+        return self.finish_us - self.request.time_us
+
+    @property
+    def service_us(self) -> float:
+        return self.finish_us - self.start_us
+
+
+@dataclass
+class SsdMetrics:
+    """Host-visible latency statistics by operation kind."""
+
+    read_latency_us: RunningStats = field(default_factory=RunningStats)
+    write_latency_us: RunningStats = field(default_factory=RunningStats)
+    requests: int = 0
+    last_finish_us: float = 0.0
+
+    def record(self, completed: CompletedRequest) -> None:
+        self.requests += 1
+        self.last_finish_us = max(self.last_finish_us, completed.finish_us)
+        if completed.request.op is OpKind.READ:
+            self.read_latency_us.add(completed.latency_us)
+        elif completed.request.op is OpKind.WRITE:
+            self.write_latency_us.add(completed.latency_us)
+
+
+class Ssd:
+    """Host interface: submit timestamped requests, get completion times."""
+
+    def __init__(
+        self,
+        ftl: Ftl,
+        timing: TimingConfig = TimingConfig(),
+        lane_channel_map: Optional[Dict[int, int]] = None,
+    ):
+        self.ftl = ftl
+        self.timing = timing
+        if lane_channel_map is None:
+            lane_channel_map = default_lane_channel_map(ftl.lanes, timing.channels)
+        missing = set(ftl.lanes) - set(lane_channel_map)
+        if missing:
+            raise ValueError(f"lanes without a channel: {sorted(missing)}")
+        self.lane_channel = lane_channel_map
+        self.channels: Dict[int, ResourceClock] = {
+            ch: ResourceClock(f"channel{ch}") for ch in sorted(set(lane_channel_map.values()))
+        }
+        self.dies: Dict[int, ResourceClock] = {
+            lane: ResourceClock(f"die{lane}") for lane in ftl.lanes
+        }
+        self.metrics = SsdMetrics()
+        self._page_transfer_us = timing.page_transfer_us(ftl.geometry)
+
+    # -- request service ------------------------------------------------------
+
+    def submit(self, request: Request) -> CompletedRequest:
+        """Service one request."""
+        now = request.time_us
+        if request.op is OpKind.WRITE:
+            finish = self._service_write(request, now)
+        elif request.op is OpKind.READ:
+            finish = self._service_read(request, now)
+        elif request.op is OpKind.TRIM:
+            finish = now + self.timing.command_overhead_us
+            for lpn in request.lpns():
+                self.ftl.trim(lpn)
+        else:
+            raise ValueError(f"unsupported op {request.op}")
+        completed = CompletedRequest(request=request, start_us=now, finish_us=finish)
+        self.metrics.record(completed)
+        return completed
+
+    def run(self, requests: Sequence[Request]) -> List[CompletedRequest]:
+        """Service a whole trace in order."""
+        return [self.submit(request) for request in requests]
+
+    def _service_write(self, request: Request, now: float) -> float:
+        finish = now + self.timing.command_overhead_us
+        # The request's shape feeds the FTL's superpage steering: multi-page
+        # requests count as sequential batch traffic, single/small ones as
+        # the random writes Section V-D wants on fast superpages.
+        intent = WriteIntent(
+            source=WriteSource.HOST,
+            pages=request.pages,
+            sequential=request.pages >= 8,
+        )
+        for lpn in request.lpns():
+            # Host data crosses some channel into the DRAM buffer; charge the
+            # least-loaded channel (controllers stripe DMA).
+            channel = min(self.channels.values(), key=lambda c: c.busy_until_us)
+            finish = max(finish, channel.acquire(now, self._page_transfer_us))
+            reports = self.ftl.write(lpn, WriteSource.HOST, intent=intent)
+            for report in reports:
+                finish = max(finish, self._apply_flush(report, now))
+        return finish
+
+    def _apply_flush(self, report: FlushReport, now: float) -> float:
+        """Occupy dies/channels for one superpage program; return completion."""
+        sb = self.ftl.table.get(report.superblock_id)
+        completion = now
+        for record in sb.members:
+            channel = self.channels[self.lane_channel[record.lane]]
+            transfer_done = channel.acquire(
+                now, self._page_transfer_us * self.ftl.geometry.bits_per_cell
+            )
+            die = self.dies[record.lane]
+            # The program occupies the die after its data arrived; the MP
+            # command completes when the slowest die finishes.
+            die_done = die.acquire(transfer_done, report.completion_us)
+            completion = max(completion, die_done)
+        return completion
+
+    def _service_read(self, request: Request, now: float) -> float:
+        finish = now + self.timing.command_overhead_us
+        for lpn in request.lpns():
+            result = self.ftl.read(lpn)
+            if not result.located:
+                continue
+            if result.buffer_hit:
+                continue
+            location = self.ftl.mapper.lookup(lpn)
+            assert location is not None
+            sb = self.ftl.table.get(location.superblock_id)
+            slot = sb.slot_location(location.slot)
+            record = sb.members[slot.lane_index]
+            die = self.dies[record.lane]
+            sense_done = die.acquire(now, result.latency_us)
+            channel = self.channels[self.lane_channel[record.lane]]
+            finish = max(finish, channel.acquire(sense_done, self._page_transfer_us))
+        return finish
+
+    # -- reporting ----------------------------------------------------------------
+
+    def utilization(self) -> Dict[str, float]:
+        elapsed = self.metrics.last_finish_us
+        report = {
+            clock.name: clock.utilization(elapsed)
+            for clock in list(self.channels.values()) + list(self.dies.values())
+        }
+        return report

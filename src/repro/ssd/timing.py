@@ -1,0 +1,73 @@
+"""SSD-level timing model.
+
+Captures the pieces of service time the FTL does not know about: command
+overheads and channel (bus) transfer time.  Flash array time comes from the
+chips themselves via the FTL.  The model follows Section II's architecture —
+each channel has its own bus, chips on one channel share it, transfers
+serialize on the bus while programs/reads proceed in parallel on the dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.nand.geometry import NandGeometry
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Bus and controller timing knobs."""
+
+    channel_mbps: float = 600.0
+    command_overhead_us: float = 3.0
+    channels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.channel_mbps <= 0:
+            raise ValueError("channel_mbps must be positive")
+        if self.command_overhead_us < 0:
+            raise ValueError("command_overhead_us must be >= 0")
+        if self.channels < 1:
+            raise ValueError("channels must be >= 1")
+
+    def transfer_us(self, nbytes: int) -> float:
+        """Bus time to move ``nbytes`` over one channel."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return nbytes / (self.channel_mbps * 1e6) * 1e6  # bytes/MBps -> µs
+
+    def page_transfer_us(self, geometry: NandGeometry) -> float:
+        """Bus time of one full page (user + spare)."""
+        return self.transfer_us(geometry.page_bytes)
+
+
+def default_lane_channel_map(lanes: Sequence[int], channels: int) -> Dict[int, int]:
+    """Round-robin lanes over channels (lane i -> channel i mod channels)."""
+    return {lane: index % channels for index, lane in enumerate(lanes)}
+
+
+class ResourceClock:
+    """Busy-until bookkeeping for one shared resource (a channel, a die)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.busy_until_us = 0.0
+        self.busy_time_us = 0.0
+
+    def acquire(self, now_us: float, duration_us: float) -> float:
+        """Occupy the resource for ``duration_us`` starting no earlier than now.
+
+        Returns the completion time.
+        """
+        if duration_us < 0:
+            raise ValueError("duration must be >= 0")
+        start = max(now_us, self.busy_until_us)
+        self.busy_until_us = start + duration_us
+        self.busy_time_us += duration_us
+        return self.busy_until_us
+
+    def utilization(self, elapsed_us: float) -> float:
+        if elapsed_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_us / elapsed_us)

@@ -1,0 +1,97 @@
+"""A sorted list keyed by an arbitrary function.
+
+QSTR-MED keeps, per chip, a list of free blocks sorted by accumulated block
+program latency (Section V-B).  Assembly pops from the head (fast
+superblocks) or the tail (slow superblocks).  A bisect-backed list is the
+right tool at the scale of a chip's free pool (hundreds to a few thousand
+entries): O(log n) search, O(n) insert/remove with tiny constants.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class SortedKeyList(Generic[T]):
+    """Mutable list kept sorted by ``key(item)``; ties keep insertion order."""
+
+    def __init__(self, items: Iterable[T] = (), *, key: Callable[[T], Any]):
+        self._key = key
+        self._items: List[T] = sorted(items, key=key)
+        self._keys: List[Any] = [key(item) for item in self._items]
+
+    def add(self, item: T) -> int:
+        """Insert ``item``, returning its position."""
+        item_key = self._key(item)
+        index = bisect.bisect_right(self._keys, item_key)
+        self._items.insert(index, item)
+        self._keys.insert(index, item_key)
+        return index
+
+    def remove(self, item: T) -> None:
+        """Remove one occurrence of ``item`` (by equality). Raises ValueError if absent."""
+        item_key = self._key(item)
+        index = bisect.bisect_left(self._keys, item_key)
+        while index < len(self._items) and self._keys[index] == item_key:
+            if self._items[index] == item:
+                del self._items[index]
+                del self._keys[index]
+                return
+            index += 1
+        raise ValueError(f"{item!r} not in list")
+
+    def pop_head(self) -> T:
+        """Remove and return the smallest-key item."""
+        if not self._items:
+            raise IndexError("pop from empty SortedKeyList")
+        self._keys.pop(0)
+        return self._items.pop(0)
+
+    def pop_tail(self) -> T:
+        """Remove and return the largest-key item."""
+        if not self._items:
+            raise IndexError("pop from empty SortedKeyList")
+        self._keys.pop()
+        return self._items.pop()
+
+    def head(self, count: int = 1) -> List[T]:
+        """The ``count`` smallest-key items (without removal)."""
+        return self._items[:count]
+
+    def tail(self, count: int = 1) -> List[T]:
+        """The ``count`` largest-key items (without removal), largest last."""
+        return self._items[-count:] if count else []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __contains__(self, item: T) -> bool:
+        item_key = self._key(item)
+        index = bisect.bisect_left(self._keys, item_key)
+        while index < len(self._items) and self._keys[index] == item_key:
+            if self._items[index] == item:
+                return True
+            index += 1
+        return False
+
+    def index_of(self, item: T) -> Optional[int]:
+        """Position of ``item`` or ``None`` if absent."""
+        item_key = self._key(item)
+        index = bisect.bisect_left(self._keys, item_key)
+        while index < len(self._items) and self._keys[index] == item_key:
+            if self._items[index] == item:
+                return index
+            index += 1
+        return None
+
+    def __repr__(self) -> str:
+        return f"SortedKeyList({self._items!r})"

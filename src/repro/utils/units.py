@@ -1,0 +1,67 @@
+"""Unit conventions and formatting.
+
+All latencies in this codebase are **microseconds** (µs) as plain floats,
+matching the units the paper reports (tPROG ≈ 1,600–1,900 µs per word-line,
+tBERS in the low milliseconds, extra latencies of 10s of µs per word-line).
+"""
+
+from __future__ import annotations
+
+US_PER_MS = 1000.0
+US_PER_S = 1_000_000.0
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+
+def us_to_ms(us: float) -> float:
+    """Microseconds → milliseconds."""
+    return us / US_PER_MS
+
+
+def ms_to_us(ms: float) -> float:
+    """Milliseconds → microseconds."""
+    return ms * US_PER_MS
+
+
+def us_to_s(us: float) -> float:
+    """Microseconds → seconds."""
+    return us / US_PER_S
+
+
+def format_us(us: float) -> str:
+    """Human-readable latency: picks µs/ms/s with thousands separators."""
+    if us < 0:
+        return "-" + format_us(-us)
+    if us < 1000:
+        return f"{us:,.2f} us"
+    if us < US_PER_S:
+        return f"{us / US_PER_MS:,.2f} ms"
+    return f"{us / US_PER_S:,.3f} s"
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte size."""
+    if count < 0:
+        return "-" + format_bytes(-count)
+    if count < KIB:
+        return f"{count} B"
+    if count < MIB:
+        return f"{count / KIB:,.1f} KiB"
+    if count < GIB:
+        return f"{count / MIB:,.1f} MiB"
+    if count < TIB:
+        return f"{count / GIB:,.2f} GiB"
+    return f"{count / TIB:,.2f} TiB"
+
+
+def improvement_pct(baseline: float, value: float) -> float:
+    """Relative improvement of ``value`` over ``baseline`` in percent.
+
+    Positive means ``value`` is smaller (better, for latencies).
+    """
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return (baseline - value) / baseline * 100.0

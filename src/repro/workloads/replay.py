@@ -1,0 +1,67 @@
+"""Trace replay against an SSD (or bare FTL) with latency reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.utils.stats import percentile, summarize
+
+if TYPE_CHECKING:  # avoid a runtime cycle: ssd.device uses workloads.model
+    from repro.ssd.device import CompletedRequest, Ssd
+from repro.workloads.model import OpKind, Request, clamp_requests
+
+
+@dataclass
+class ReplayReport:
+    """Latency outcome of one replay."""
+
+    completed: List["CompletedRequest"] = field(default_factory=list)
+
+    def latencies(self, op: Optional[OpKind] = None) -> List[float]:
+        return [
+            c.latency_us
+            for c in self.completed
+            if op is None or c.request.op is op
+        ]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-op latency summaries (mean/p50/p99/...)."""
+        report: Dict[str, Dict[str, float]] = {}
+        for op in OpKind:
+            values = self.latencies(op)
+            if values:
+                report[op.name] = summarize(values)
+        return report
+
+    def p99_write_us(self) -> float:
+        writes = self.latencies(OpKind.WRITE)
+        if not writes:
+            raise ValueError("no writes replayed")
+        return percentile(writes, 99)
+
+    def mean_write_us(self) -> float:
+        writes = self.latencies(OpKind.WRITE)
+        if not writes:
+            raise ValueError("no writes replayed")
+        return sum(writes) / len(writes)
+
+
+class Replayer:
+    """Feeds a request stream to an SSD and collects the report."""
+
+    def __init__(self, ssd: "Ssd", clamp: bool = True):
+        self.ssd = ssd
+        self.clamp = clamp
+
+    def replay(self, requests: Sequence[Request], drain: bool = True) -> ReplayReport:
+        """Run all requests in timestamp order; optionally drain buffers after."""
+        ordered = sorted(requests, key=lambda r: r.time_us)
+        if self.clamp:
+            ordered = clamp_requests(ordered, self.ssd.ftl.logical_pages)
+        report = ReplayReport()
+        for request in ordered:
+            report.completed.append(self.ssd.submit(request))
+        if drain:
+            self.ssd.ftl.flush()
+        return report

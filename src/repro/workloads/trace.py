@@ -1,0 +1,75 @@
+"""Trace file I/O.
+
+A minimal line-oriented CSV format, one request per line:
+
+    time_us,op,lpn,pages
+
+``op`` is ``R``/``W``/``T`` (case-insensitive; full names accepted).  Lines
+starting with ``#`` and blank lines are ignored.  This is deliberately close
+to the common block-trace shapes (MSR Cambridge, FIU) after sector->page
+conversion, so converting a real trace is a ten-line awk job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.workloads.model import OpKind, Request
+
+PathLike = Union[str, Path]
+
+
+class TraceFormatError(Exception):
+    """Malformed trace line."""
+
+
+def parse_trace_line(line: str, line_number: int = 0) -> Request:
+    """Parse one ``time_us,op,lpn,pages`` line."""
+    fields = [field.strip() for field in line.split(",")]
+    if len(fields) not in (3, 4):
+        raise TraceFormatError(
+            f"line {line_number}: expected 3-4 fields, got {len(fields)}: {line!r}"
+        )
+    try:
+        time_us = float(fields[0])
+        op = OpKind.parse(fields[1])
+        lpn = int(fields[2])
+        pages = int(fields[3]) if len(fields) == 4 else 1
+    except ValueError as error:
+        raise TraceFormatError(f"line {line_number}: {error}") from error
+    try:
+        return Request(time_us=time_us, op=op, lpn=lpn, pages=pages)
+    except ValueError as error:
+        raise TraceFormatError(f"line {line_number}: {error}") from error
+
+
+def iter_trace(path: PathLike) -> Iterator[Request]:
+    """Stream requests from a trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield parse_trace_line(line, line_number)
+
+
+def load_trace(path: PathLike) -> List[Request]:
+    """Read a whole trace file into memory."""
+    return list(iter_trace(path))
+
+
+def save_trace(path: PathLike, requests: Iterable[Request], header: str = "") -> int:
+    """Write requests to a trace file; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write("# time_us,op,lpn,pages\n")
+        for request in requests:
+            handle.write(
+                f"{request.time_us:.3f},{request.op.value},{request.lpn},{request.pages}\n"
+            )
+            count += 1
+    return count

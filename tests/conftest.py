@@ -1,0 +1,61 @@
+"""Shared fixtures.
+
+Most tests run on SMALL_GEOMETRY (2 planes x 32 blocks x 8 layers x 4
+strings) so the whole suite stays fast; a handful of structure tests use the
+paper geometry with tiny pools.  Expensive artifacts are session-scoped —
+tests must treat them as read-only and build their own chips when they
+mutate state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assembly import build_lane_pools
+from repro.nand import (
+    PAPER_GEOMETRY,
+    SMALL_GEOMETRY,
+    FlashChip,
+    NandGeometry,
+    VariationModel,
+    VariationParams,
+)
+
+TEST_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def small_model() -> VariationModel:
+    return VariationModel(SMALL_GEOMETRY, VariationParams(), seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def paper_model() -> VariationModel:
+    return VariationModel(PAPER_GEOMETRY, VariationParams(), seed=TEST_SEED)
+
+
+def make_chips(model: VariationModel, count: int = 4):
+    """Fresh stateful chips over (stateless) cached profiles."""
+    return [
+        FlashChip(model.chip_profile(chip_id), model.geometry)
+        for chip_id in range(count)
+    ]
+
+
+@pytest.fixture()
+def small_chips(small_model):
+    return make_chips(small_model, 4)
+
+
+@pytest.fixture(scope="session")
+def small_pools(small_model):
+    """Measured pools over 24 blocks per lane (read-only for tests)."""
+    chips = make_chips(small_model, 4)
+    return build_lane_pools(chips, range(24))
+
+
+@pytest.fixture(scope="session")
+def paper_pools(paper_model):
+    """Small paper-geometry pools (read-only); used by ordering tests."""
+    chips = make_chips(paper_model, 4)
+    return build_lane_pools(chips, range(48))

@@ -1,0 +1,58 @@
+"""Sensitivity-driver tests (tiny scales; the bench runs the real sweep)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    KNOBS,
+    evaluate_variant,
+    knob_sweep,
+    seed_sweep,
+)
+from repro.nand import SMALL_GEOMETRY, VariationParams
+
+TINY = dict(geometry=SMALL_GEOMETRY, chips=3, pool_blocks=16, seed=5)
+
+
+class TestKnobs:
+    def test_every_knob_applies(self):
+        params = VariationParams()
+        for name, apply in KNOBS.items():
+            scaled = apply(params, 2.0)
+            assert scaled != params, name
+
+    def test_unknown_knob(self):
+        with pytest.raises(ValueError):
+            knob_sweep("bogus")
+
+    def test_knob_scaling_is_multiplicative(self):
+        params = VariationParams()
+        scaled = KNOBS["wl_noise"](params, 3.0)
+        assert scaled.sigma_wl_noise_us == pytest.approx(3 * params.sigma_wl_noise_us)
+        both = KNOBS["block_offsets"](params, 0.5)
+        assert both.sigma_block_drift_us == pytest.approx(
+            0.5 * params.sigma_block_drift_us
+        )
+        assert both.sigma_block_resid_us == pytest.approx(
+            0.5 * params.sigma_block_resid_us
+        )
+
+
+class TestEvaluate:
+    def test_point_fields(self):
+        point = evaluate_variant("base", VariationParams(), **TINY)
+        assert point.label == "base"
+        assert point.random_extra_pgm_us > 0
+        assert point.qstr_extra_pgm_us > 0
+        assert point.qstr_improvement_pct == pytest.approx(
+            (1 - point.qstr_extra_pgm_us / point.random_extra_pgm_us) * 100
+        )
+
+    def test_knob_sweep_labels(self):
+        points = knob_sweep("wl_noise", factors=(1.0,), **TINY)
+        assert [p.label for p in points] == ["wl_noise x1"]
+
+    def test_seed_sweep(self):
+        points = seed_sweep([1, 2], **{k: v for k, v in TINY.items() if k != "seed"})
+        assert [p.label for p in points] == ["seed 1", "seed 2"]
+        # different wafers -> different baselines
+        assert points[0].random_extra_pgm_us != points[1].random_extra_pgm_us

@@ -1,0 +1,119 @@
+"""Signature construction tests (directions 5-8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assembly.signatures import (
+    SignatureCache,
+    lwl_rank_signature,
+    pwl_rank_signature,
+    signature_distance,
+    str_median_signature,
+    str_rank_signature,
+)
+from repro.characterization.datasets import BlockMeasurement
+
+
+def measurement(matrix):
+    array = np.asarray(matrix, dtype=float)
+    array.setflags(write=False)
+    return BlockMeasurement(0, 0, 0, 0, array, 100.0)
+
+
+class TestLwlRank:
+    def test_known_ranks(self):
+        m = measurement([[30.0, 10.0], [20.0, 40.0]])
+        # flattened order: 30,10,20,40 -> ranks 2,0,1,3
+        assert list(lwl_rank_signature(m)) == [2, 0, 1, 3]
+
+    def test_ties_stable(self):
+        m = measurement([[10.0, 10.0], [10.0, 10.0]])
+        assert list(lwl_rank_signature(m)) == [0, 1, 2, 3]
+
+
+class TestPwlRank:
+    def test_per_string_ranks(self):
+        m = measurement([[30.0, 10.0], [20.0, 40.0]])
+        # string 0 column: 30,20 -> ranks 1,0 ; string 1: 10,40 -> 0,1
+        sig = pwl_rank_signature(m).reshape(2, 2)
+        assert list(sig[:, 0]) == [1, 0]
+        assert list(sig[:, 1]) == [0, 1]
+
+    def test_rank_range(self):
+        rng = np.random.default_rng(1)
+        m = measurement(rng.random((6, 4)))
+        sig = pwl_rank_signature(m)
+        assert sig.max() == 5  # ranks 0..layers-1 per string
+
+
+class TestStrRank:
+    def test_per_layer_ranks(self):
+        m = measurement([[30.0, 10.0, 20.0, 40.0]])
+        assert list(str_rank_signature(m)) == [2, 0, 1, 3]
+
+    def test_rank_range(self):
+        rng = np.random.default_rng(2)
+        m = measurement(rng.random((6, 4)))
+        assert str_rank_signature(m).max() == 3
+
+
+class TestStrMedian:
+    def test_fast_half_zero(self):
+        m = measurement([[30.0, 10.0, 20.0, 40.0]])
+        # two fastest (10, 20) -> bits 0; (30, 40) -> bits 1
+        assert list(str_median_signature(m)) == [1, 0, 0, 1]
+
+    def test_tie_break_first_come(self):
+        m = measurement([[10.0, 10.0, 10.0, 10.0]])
+        assert list(str_median_signature(m)) == [0, 0, 1, 1]
+
+    def test_exactly_half_fast(self):
+        rng = np.random.default_rng(3)
+        m = measurement(rng.random((8, 4)))
+        sig = str_median_signature(m).reshape(8, 4)
+        assert (sig.sum(axis=1) == 2).all()
+
+
+class TestDistance:
+    def test_zero_for_identical(self):
+        m = measurement(np.random.default_rng(4).random((4, 4)))
+        assert signature_distance(str_rank_signature(m), str_rank_signature(m)) == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            signature_distance(np.zeros(3), np.zeros(4))
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_distance_counts_differences(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 4, size=16).astype(np.uint16)
+        b = a.copy()
+        flips = rng.integers(0, 8)
+        positions = rng.choice(16, size=flips, replace=False)
+        b[positions] = (b[positions] + 1) % 4
+        assert signature_distance(a, b) == len(positions)
+
+
+class TestSignatureCache:
+    def test_memoizes(self):
+        calls = []
+
+        def builder(m):
+            calls.append(m)
+            return np.zeros(4, dtype=np.uint16)
+
+        cache = SignatureCache(builder)
+        m = measurement(np.ones((1, 4)))
+        first = cache.get(m)
+        second = cache.get(m)
+        assert first is second
+        assert len(calls) == 1
+        assert not first.flags.writeable
+
+    def test_stack(self):
+        cache = SignatureCache(str_rank_signature)
+        ms = [measurement(np.random.default_rng(i).random((2, 4))) for i in range(3)]
+        stack = cache.stack(ms)
+        assert stack.shape == (3, 8)

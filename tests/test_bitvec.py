@@ -1,0 +1,126 @@
+"""BitVector unit and property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitvec import BitVector
+
+bit_lists = st.lists(st.integers(0, 1), min_size=0, max_size=200)
+
+
+class TestConstruction:
+    def test_from_bits_roundtrip(self):
+        bits = [1, 0, 0, 1, 1]
+        assert BitVector(bits).to_bits() == bits
+
+    def test_zeros_and_ones(self):
+        assert BitVector.zeros(5).popcount() == 0
+        assert BitVector.ones(5).popcount() == 5
+        assert len(BitVector.zeros(0)) == 0
+
+    def test_from_string_ignores_spacing(self):
+        assert BitVector.from_string("1001 0011") == BitVector([1, 0, 0, 1, 0, 0, 1, 1])
+        assert BitVector.from_string("10_01") == BitVector([1, 0, 0, 1])
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            BitVector([0, 2])
+
+    def test_raw_value_needs_length(self):
+        with pytest.raises(ValueError):
+            BitVector(value=5)
+
+    def test_raw_value_too_wide(self):
+        with pytest.raises(ValueError):
+            BitVector(length=2, value=5)
+
+    def test_raw_value_negative(self):
+        with pytest.raises(ValueError):
+            BitVector(length=4, value=-1)
+
+    def test_declared_length_pads(self):
+        v = BitVector([1], length=4)
+        assert len(v) == 4
+        assert v.to_bits() == [1, 0, 0, 0]
+
+    def test_declared_length_too_small(self):
+        with pytest.raises(ValueError):
+            BitVector([1, 1, 1], length=2)
+
+
+class TestOperations:
+    def test_xor_and_popcount(self):
+        a = BitVector.from_string("1100")
+        b = BitVector.from_string("1010")
+        assert (a ^ b) == BitVector.from_string("0110")
+        assert a.hamming_distance(b) == 2
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector([1]) ^ BitVector([1, 0])
+
+    def test_concat_order(self):
+        joined = BitVector.concat([BitVector([1, 0]), BitVector([0, 1, 1])])
+        assert joined.to_bits() == [1, 0, 0, 1, 1]
+
+    def test_concat_empty(self):
+        assert len(BitVector.concat([])) == 0
+
+    def test_indexing(self):
+        v = BitVector([1, 0, 1])
+        assert v[0] == 1 and v[1] == 0 and v[2] == 1
+        assert v[-1] == 1
+        with pytest.raises(IndexError):
+            v[3]
+
+    def test_slicing(self):
+        v = BitVector([1, 0, 1, 1])
+        assert v[1:3] == BitVector([0, 1])
+
+    def test_to_string_groups(self):
+        assert BitVector([1, 0, 0, 1, 0, 0, 1, 1]).to_string() == "1001 0011"
+        assert BitVector([1, 0, 1]).to_string(group=0) == "101"
+
+    def test_hash_and_eq(self):
+        assert BitVector([1, 0]) == BitVector([1, 0])
+        assert BitVector([1, 0]) != BitVector([1, 0, 0])
+        assert hash(BitVector([1, 0])) == hash(BitVector([1, 0]))
+
+    def test_eq_other_type(self):
+        assert BitVector([1]) != "1"
+
+
+class TestProperties:
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        assert BitVector(bits).to_bits() == bits
+
+    @given(bit_lists)
+    def test_popcount_is_sum(self, bits):
+        assert BitVector(bits).popcount() == sum(bits)
+
+    @given(bit_lists)
+    def test_xor_self_is_zero(self, bits):
+        v = BitVector(bits)
+        assert (v ^ v).popcount() == 0
+
+    @given(bit_lists, st.integers(0, 5))
+    def test_distance_symmetric(self, bits, flips):
+        a = BitVector(bits)
+        other = list(bits)
+        for i in range(min(flips, len(other))):
+            other[i] ^= 1
+        b = BitVector(other)
+        assert a.hamming_distance(b) == b.hamming_distance(a)
+
+    @given(st.lists(bit_lists, min_size=1, max_size=5))
+    def test_concat_length(self, parts):
+        vectors = [BitVector(p) for p in parts]
+        assert len(BitVector.concat(vectors)) == sum(len(p) for p in parts)
+
+    @given(bit_lists, bit_lists, bit_lists)
+    def test_triangle_inequality(self, xs, ys, zs):
+        n = min(len(xs), len(ys), len(zs))
+        a, b, c = BitVector(xs[:n]), BitVector(ys[:n]), BitVector(zs[:n])
+        assert a.hamming_distance(c) <= a.hamming_distance(b) + b.hamming_distance(c)

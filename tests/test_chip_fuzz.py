@@ -1,0 +1,121 @@
+"""State-machine fuzzing of FlashChip: random op streams keep invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.nand import SMALL_GEOMETRY, FlashChip, PageType, VariationModel, VariationParams
+from repro.nand.errors import (
+    FlashError,
+    ProgramOrderError,
+    ProgramStateError,
+    ReadStateError,
+)
+
+
+def make_chip(seed=123):
+    params = VariationParams(
+        factory_bad_ratio=0.0, endurance_cycles=100_000, endurance_sigma_log=0.0
+    )
+    model = VariationModel(SMALL_GEOMETRY, params, seed=seed)
+    return FlashChip(model.chip_profile(0), SMALL_GEOMETRY)
+
+
+class ChipModel:
+    """Reference state: per block, erased flag + next LWL + page contents."""
+
+    def __init__(self):
+        self.erased = {}
+        self.next_lwl = {}
+        self.pages = {}
+
+    def erase(self, block):
+        self.erased[block] = True
+        self.next_lwl[block] = 0
+        self.pages[block] = {}
+
+    def can_program(self, block, lwl):
+        return self.erased.get(block, False) and self.next_lwl.get(block, 0) == lwl
+
+    def program(self, block, lwl, payload):
+        self.next_lwl[block] = lwl + 1
+        self.pages[block][lwl] = payload
+
+    def readable(self, block, lwl):
+        return lwl < self.next_lwl.get(block, 0)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["erase", "program", "program_bad_order", "read"]),
+        st.integers(0, 3),  # block
+        st.integers(0, SMALL_GEOMETRY.lwls_per_block - 1),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestChipFuzz:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=ops)
+    def test_matches_reference_model(self, stream):
+        chip = make_chip()
+        model = ChipModel()
+        for op, block, lwl in stream:
+            if op == "erase":
+                chip.erase_block(0, block)
+                model.erase(block)
+            elif op == "program":
+                expected = model.next_lwl.get(block, 0)
+                if model.can_program(block, expected) and expected < SMALL_GEOMETRY.lwls_per_block:
+                    chip.program_wordline(0, block, expected, {PageType.LSB: (block, expected)})
+                    model.program(block, expected, (block, expected))
+                else:
+                    with pytest.raises((ProgramStateError, ProgramOrderError)):
+                        chip.program_wordline(0, block, expected)
+            elif op == "program_bad_order":
+                expected = model.next_lwl.get(block, 0)
+                wrong = (expected + 1) % SMALL_GEOMETRY.lwls_per_block
+                if model.erased.get(block, False) and wrong != expected:
+                    with pytest.raises(ProgramOrderError):
+                        chip.program_wordline(0, block, wrong)
+                # model unchanged either way
+            else:  # read
+                if model.readable(block, lwl):
+                    _, payload = chip.read_page(0, block, lwl, PageType.LSB)
+                    assert payload == model.pages[block].get(lwl)
+                else:
+                    with pytest.raises(ReadStateError):
+                        chip.read_page(0, block, lwl, PageType.LSB)
+        # final sweep: chip agrees with the model everywhere we touched
+        for block in model.next_lwl:
+            assert chip.programmed_lwls(0, block) == model.next_lwl[block]
+
+    def test_long_random_stream_never_corrupts(self):
+        chip = make_chip(7)
+        model = ChipModel()
+        rng = np.random.default_rng(0)
+        for _ in range(3000):
+            block = int(rng.integers(4))
+            roll = rng.random()
+            try:
+                if roll < 0.1:
+                    chip.erase_block(0, block)
+                    model.erase(block)
+                elif roll < 0.7:
+                    lwl = model.next_lwl.get(block, 0)
+                    if lwl < SMALL_GEOMETRY.lwls_per_block:
+                        chip.program_wordline(0, block, lwl, {PageType.MSB: lwl})
+                        model.program(block, lwl, lwl)
+                else:
+                    lwl = int(rng.integers(SMALL_GEOMETRY.lwls_per_block))
+                    if model.readable(block, lwl):
+                        _, payload = chip.read_page(0, block, lwl, PageType.MSB)
+                        assert payload == model.pages[block].get(lwl)
+            except FlashError as error:
+                # only legal rejections may occur
+                assert isinstance(
+                    error, (ProgramStateError, ProgramOrderError, ReadStateError)
+                ), error

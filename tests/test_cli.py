@@ -1,0 +1,84 @@
+"""CLI tests (small scales so the suite stays fast)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.table == "all"
+        assert args.blocks == 400
+        args = build_parser().parse_args(["replay", "--allocator", "random"])
+        assert args.allocator == "random"
+
+    def test_invalid_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--table", "9"])
+
+
+class TestCommands:
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "1,536" in out
+        assert "99.22%" in out
+        assert "52" in out
+
+    def test_tables_small(self, capsys):
+        assert main(["tables", "--table", "5", "--blocks", "16", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "QSTR-MED(4)" in out
+
+    def test_figures_small(self, capsys):
+        assert main(["figures", "--figure", "6", "--blocks", "12", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "extra PGM" in out
+
+    def test_replay_synthetic(self, capsys):
+        assert (
+            main(
+                [
+                    "replay",
+                    "--allocator",
+                    "random",
+                    "--blocks",
+                    "32",
+                    "--chips",
+                    "3",
+                    "--seed",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "allocator: random" in out
+        assert "WRITE" in out
+
+    def test_replay_trace_file(self, capsys, tmp_path):
+        trace = tmp_path / "t.csv"
+        trace.write_text("# test\n0,W,0,1\n10,W,1,1\n20,R,0,1\n")
+        assert (
+            main(
+                [
+                    "replay",
+                    "--trace",
+                    str(trace),
+                    "--blocks",
+                    "20",
+                    "--chips",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "WRITE" in out

@@ -1,0 +1,72 @@
+"""BlockCatalog tests."""
+
+import pytest
+
+from repro.core.catalog import BlockCatalog, CatalogError
+from repro.core.records import BlockRecord
+from repro.utils.bitvec import BitVector
+
+
+def record(lane=0, plane=0, block=0, pgm=1000.0):
+    return BlockRecord(lane, plane, block, pgm, BitVector([0, 1, 0, 1]))
+
+
+class TestCatalog:
+    def test_sorted_by_latency(self):
+        catalog = BlockCatalog(0)
+        catalog.add(record(block=1, pgm=300))
+        catalog.add(record(block=2, pgm=100))
+        catalog.add(record(block=3, pgm=200))
+        assert [r.block for r in catalog] == [2, 3, 1]
+        assert catalog.fastest().block == 2
+        assert catalog.slowest().block == 1
+
+    def test_head_tail_candidates(self):
+        catalog = BlockCatalog(0)
+        for b in range(6):
+            catalog.add(record(block=b, pgm=float(b)))
+        assert [r.block for r in catalog.head_candidates(3)] == [0, 1, 2]
+        assert [r.block for r in catalog.tail_candidates(3)] == [3, 4, 5]
+        assert len(catalog.head_candidates(99)) == 6
+
+    def test_lane_guard(self):
+        catalog = BlockCatalog(0)
+        with pytest.raises(CatalogError):
+            catalog.add(record(lane=1))
+
+    def test_duplicate_guard(self):
+        catalog = BlockCatalog(0)
+        catalog.add(record(block=5))
+        with pytest.raises(CatalogError):
+            catalog.add(record(block=5, pgm=999))
+
+    def test_remove(self):
+        catalog = BlockCatalog(0)
+        r = record(block=5)
+        catalog.add(r)
+        assert r in catalog
+        catalog.remove(r)
+        assert r not in catalog
+        assert len(catalog) == 0
+        with pytest.raises(CatalogError):
+            catalog.remove(r)
+
+    def test_empty_extremes(self):
+        catalog = BlockCatalog(0)
+        assert catalog.fastest() is None
+        assert catalog.slowest() is None
+
+    def test_metadata_bytes(self):
+        catalog = BlockCatalog(0)
+        catalog.add(record(block=0))
+        catalog.add(record(block=1))
+        assert catalog.metadata_bytes() == 2 * record().metadata_bytes()
+
+    def test_readd_after_remove(self):
+        catalog = BlockCatalog(0)
+        r = record(block=7, pgm=100)
+        catalog.add(r)
+        catalog.remove(r)
+        updated = record(block=7, pgm=50)
+        catalog.add(updated)
+        assert catalog.fastest().pgm_total_us == 50

@@ -1,0 +1,97 @@
+"""Eigen-sequence tests, including the cross-check with str_median_signature."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assembly.signatures import str_median_signature
+from repro.characterization.datasets import BlockMeasurement
+from repro.core.eigen import (
+    eigen_bits_for_geometry,
+    eigen_distance,
+    eigen_sequence,
+    layer_eigen_bits,
+)
+from repro.nand import PAPER_GEOMETRY, SMALL_GEOMETRY
+
+
+class TestLayerBits:
+    def test_fastest_half_zero(self):
+        bits = layer_eigen_bits([30.0, 10.0, 20.0, 40.0])
+        assert bits.to_bits() == [1, 0, 0, 1]
+
+    def test_tie_first_come(self):
+        bits = layer_eigen_bits([10.0, 10.0, 10.0, 10.0])
+        assert bits.to_bits() == [0, 0, 1, 1]
+
+    def test_custom_fast_slots(self):
+        bits = layer_eigen_bits([4.0, 3.0, 2.0, 1.0], fast_slots=1)
+        assert bits.to_bits() == [1, 1, 1, 0]
+        all_fast = layer_eigen_bits([1.0, 2.0], fast_slots=2)
+        assert all_fast.popcount() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layer_eigen_bits([])
+        with pytest.raises(ValueError):
+            layer_eigen_bits([1.0, 2.0], fast_slots=3)
+        with pytest.raises(ValueError):
+            layer_eigen_bits(np.zeros((2, 2)))
+
+
+class TestEigenSequence:
+    def test_figure9_example_shape(self):
+        # Figure 9's first layers: values produce the bits shown in the paper
+        matrix = np.array(
+            [
+                [1917.0, 1898.6, 1898.6, 1898.6],  # -> 1 0 0 1 (ties first-come)
+                [1898.6, 1898.6, 1898.6, 1898.6],  # -> 0 0 1 1
+            ]
+        )
+        sequence = eigen_sequence(matrix)
+        assert sequence.to_bits() == [1, 0, 0, 1, 0, 0, 1, 1]
+
+    def test_length_matches_geometry(self):
+        rng = np.random.default_rng(0)
+        g = SMALL_GEOMETRY
+        matrix = rng.random((g.layers_per_block, g.strings_per_layer))
+        assert len(eigen_sequence(matrix)) == eigen_bits_for_geometry(g)
+        assert eigen_bits_for_geometry(PAPER_GEOMETRY) == 384
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            eigen_sequence(np.zeros(8))
+
+    def test_distance(self):
+        a = eigen_sequence(np.array([[1.0, 2.0, 3.0, 4.0]]))
+        b = eigen_sequence(np.array([[4.0, 3.0, 2.0, 1.0]]))
+        assert eigen_distance(a, a) == 0
+        assert eigen_distance(a, b) == 4
+
+
+class TestCrossCheck:
+    """The BitVector eigen path and the numpy signature path must agree."""
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_matches_str_median_signature(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = np.round(rng.normal(1700, 15, size=(6, 4)) / 6.1) * 6.1
+        matrix.setflags(write=False)
+        measurement = BlockMeasurement(0, 0, 0, 0, matrix, 100.0)
+        numpy_sig = str_median_signature(measurement)
+        bitvec_sig = eigen_sequence(matrix)
+        assert list(numpy_sig) == bitvec_sig.to_bits()
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_distances_agree(self, seed_a, seed_b):
+        def sig_pair(seed):
+            rng = np.random.default_rng(seed)
+            matrix = rng.normal(1700, 15, size=(4, 4))
+            matrix.setflags(write=False)
+            m = BlockMeasurement(0, 0, 0, 0, matrix, 100.0)
+            return str_median_signature(m), eigen_sequence(matrix)
+
+        np_a, bv_a = sig_pair(seed_a)
+        np_b, bv_b = sig_pair(seed_b)
+        assert int(np.count_nonzero(np_a != np_b)) == bv_a.hamming_distance(bv_b)

@@ -1,0 +1,116 @@
+"""GatheringUnit and BlockRecord tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.eigen import eigen_sequence
+from repro.core.gathering import GatheringError, GatheringUnit
+from repro.core.records import BlockRecord
+from repro.nand import SMALL_GEOMETRY
+from repro.utils.bitvec import BitVector
+
+
+@pytest.fixture()
+def unit():
+    return GatheringUnit(SMALL_GEOMETRY)
+
+
+def feed_block(unit, lane=0, plane=0, block=0, seed=0, pe=0):
+    rng = np.random.default_rng(seed)
+    g = SMALL_GEOMETRY
+    matrix = rng.normal(1700, 10, size=(g.layers_per_block, g.strings_per_layer))
+    unit.open_block(lane, plane, block, pe)
+    record = None
+    for lwl in range(g.lwls_per_block):
+        layer, string = divmod(lwl, g.strings_per_layer)
+        record = unit.report(lane, plane, block, lwl, float(matrix[layer, string]))
+    return record, matrix
+
+
+class TestLifecycle:
+    def test_open_twice_rejected(self, unit):
+        unit.open_block(0, 0, 0)
+        with pytest.raises(GatheringError):
+            unit.open_block(0, 0, 0)
+
+    def test_report_unopened_rejected(self, unit):
+        with pytest.raises(GatheringError):
+            unit.report(0, 0, 0, 0, 1000.0)
+
+    def test_out_of_order_rejected(self, unit):
+        unit.open_block(0, 0, 0)
+        unit.report(0, 0, 0, 0, 1000.0)
+        with pytest.raises(GatheringError):
+            unit.report(0, 0, 0, 2, 1000.0)
+
+    def test_abandon(self, unit):
+        unit.open_block(0, 0, 0)
+        assert unit.open_count == 1
+        unit.abandon_block(0, 0, 0)
+        assert unit.open_count == 0
+        unit.abandon_block(0, 0, 9)  # idempotent
+
+    def test_completion_closes_block(self, unit):
+        record, _ = feed_block(unit)
+        assert record is not None
+        assert not unit.is_open(0, 0, 0)
+        assert unit.completed == [record]
+
+
+class TestRecordContents:
+    def test_latency_sum(self, unit):
+        record, matrix = feed_block(unit)
+        assert record.pgm_total_us == pytest.approx(matrix.sum())
+
+    def test_eigen_matches_offline(self, unit):
+        record, matrix = feed_block(unit)
+        assert record.eigen == eigen_sequence(matrix)
+
+    def test_callback_invoked(self):
+        seen = []
+        unit = GatheringUnit(SMALL_GEOMETRY, seen.append)
+        record, _ = feed_block(unit)
+        assert seen == [record]
+
+    def test_pe_cycles_recorded(self, unit):
+        record, _ = feed_block(unit, pe=42)
+        assert record.pe_cycles == 42
+
+    def test_gather_measurement_helper(self, unit):
+        rng = np.random.default_rng(3)
+        g = SMALL_GEOMETRY
+        matrix = rng.normal(1700, 10, size=(g.layers_per_block, g.strings_per_layer))
+        record = unit.gather_measurement(1, 0, 5, matrix, pe_cycles=7)
+        assert record.lane == 1 and record.block == 5
+        assert record.pgm_total_us == pytest.approx(matrix.sum())
+
+
+class TestFootprint:
+    def test_staging_only_open_blocks(self, unit):
+        assert unit.staging_bytes() == 0
+        unit.open_block(0, 0, 0)
+        first = unit.staging_bytes()
+        assert first > 0
+        unit.open_block(0, 0, 1)
+        assert unit.staging_bytes() > first
+        unit.abandon_block(0, 0, 0)
+        unit.abandon_block(0, 0, 1)
+        assert unit.staging_bytes() == 0
+
+    def test_record_metadata_bytes(self, unit):
+        record, _ = feed_block(unit)
+        g = SMALL_GEOMETRY
+        expected = 4 + (g.lwls_per_block + 7) // 8
+        assert record.metadata_bytes() == expected
+
+
+class TestBlockRecord:
+    def test_distance(self):
+        a = BlockRecord(0, 0, 0, 1.0, BitVector([1, 0, 1, 0]))
+        b = BlockRecord(1, 0, 0, 2.0, BitVector([1, 1, 1, 1]))
+        assert a.distance_to(b) == 2
+
+    def test_key_and_str(self):
+        record = BlockRecord(2, 1, 30, 500.0, BitVector([0]))
+        assert record.key() == (2, 1, 30)
+        assert "lane2" in str(record)

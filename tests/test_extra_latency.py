@@ -1,0 +1,100 @@
+"""Extra-latency definition tests (Section III-A semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.characterization.datasets import BlockMeasurement
+from repro.characterization.extra_latency import (
+    extra_erase_latency,
+    extra_program_latency,
+    per_wordline_extra_program,
+    superblock_erase_completion,
+    superblock_program_completion,
+)
+
+
+def measurement(matrix, ers=100.0, chip=0):
+    array = np.asarray(matrix, dtype=float)
+    array.setflags(write=False)
+    return BlockMeasurement(chip, 0, 0, 0, array, ers)
+
+
+class TestDefinitions:
+    def test_known_values(self):
+        a = measurement([[10.0, 20.0]], ers=100.0)
+        b = measurement([[12.0, 18.0]], ers=104.0, chip=1)
+        # per-WL gaps: |10-12| = 2, |20-18| = 2 -> total 4
+        assert extra_program_latency([a, b]) == pytest.approx(4.0)
+        assert list(per_wordline_extra_program([a, b])) == [2.0, 2.0]
+        assert extra_erase_latency([a, b]) == pytest.approx(4.0)
+        assert superblock_program_completion([a, b]) == pytest.approx(12 + 20)
+        assert superblock_erase_completion([a, b]) == pytest.approx(104.0)
+
+    def test_identical_members_zero_extra(self):
+        a = measurement([[5.0, 6.0], [7.0, 8.0]])
+        b = measurement([[5.0, 6.0], [7.0, 8.0]], chip=1)
+        assert extra_program_latency([a, b]) == 0.0
+        assert extra_erase_latency([a, b]) == 0.0
+
+    def test_requires_two_members(self):
+        a = measurement([[1.0]])
+        with pytest.raises(ValueError):
+            extra_program_latency([a])
+        with pytest.raises(ValueError):
+            extra_erase_latency([a])
+
+    def test_mismatched_shapes(self):
+        a = measurement([[1.0, 2.0]])
+        b = measurement([[1.0, 2.0, 3.0]], chip=1)
+        with pytest.raises(ValueError):
+            extra_program_latency([a, b])
+
+    def test_empty_completion(self):
+        with pytest.raises(ValueError):
+            superblock_erase_completion([])
+
+
+lat_matrices = st.lists(
+    st.lists(st.floats(1, 1000, allow_nan=False), min_size=4, max_size=4),
+    min_size=2,
+    max_size=2,
+)
+
+
+class TestProperties:
+    @given(st.lists(lat_matrices, min_size=2, max_size=5))
+    def test_extra_nonnegative_and_bounded(self, matrices):
+        members = [measurement(m, chip=i) for i, m in enumerate(matrices)]
+        extra = extra_program_latency(members)
+        assert extra >= 0
+        # extra <= sum over WLs of (max over all values - min over all values)
+        stacked = np.array(matrices, dtype=float).reshape(len(matrices), -1)
+        bound = (stacked.max() - stacked.min()) * stacked.shape[1]
+        assert extra <= bound + 1e-9
+
+    @given(st.lists(lat_matrices, min_size=2, max_size=4))
+    def test_completion_at_least_any_member_total(self, matrices):
+        members = [measurement(m, chip=i) for i, m in enumerate(matrices)]
+        completion = superblock_program_completion(members)
+        for member in members:
+            assert completion >= member.program_total_us - 1e-9
+
+    @given(st.lists(lat_matrices, min_size=2, max_size=4))
+    def test_adding_member_never_reduces_extra(self, matrices):
+        members = [measurement(m, chip=i) for i, m in enumerate(matrices)]
+        smaller = extra_program_latency(members[:2])
+        bigger = extra_program_latency(members)
+        assert bigger >= smaller - 1e-9
+
+    @given(lat_matrices, lat_matrices)
+    def test_extra_invariant_to_common_shift(self, first, second):
+        members = [measurement(first, chip=0), measurement(second, chip=1)]
+        shifted = [
+            measurement((np.asarray(first) + 17.0).tolist(), chip=0),
+            measurement((np.asarray(second) + 17.0).tolist(), chip=1),
+        ]
+        assert extra_program_latency(members) == pytest.approx(
+            extra_program_latency(shifted), abs=1e-6
+        )

@@ -1,0 +1,151 @@
+"""WriteBuffer and allocator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.assembler import SpeedClass
+from repro.core.gathering import GatheringUnit
+from repro.core.placement import WriteSource
+from repro.ftl.allocator import (
+    AllocationError,
+    QstrAllocator,
+    SimpleAllocator,
+    make_allocator,
+)
+from repro.ftl.writebuffer import BufferedPage, WriteBuffer
+from repro.nand import SMALL_GEOMETRY
+
+
+class TestWriteBuffer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(0)
+
+    def test_push_and_full_detection(self):
+        buffer = WriteBuffer(3)
+        for lpn in range(2):
+            buffer.push(SpeedClass.FAST, BufferedPage(lpn, WriteSource.HOST))
+        assert not buffer.has_full_superwl(SpeedClass.FAST)
+        buffer.push(SpeedClass.FAST, BufferedPage(2, WriteSource.HOST))
+        assert buffer.has_full_superwl(SpeedClass.FAST)
+        assert buffer.pending(SpeedClass.FAST) == 3
+        assert buffer.total_pending() == 3
+
+    def test_pop_fifo(self):
+        buffer = WriteBuffer(2)
+        for lpn in range(4):
+            buffer.push(SpeedClass.FAST, BufferedPage(lpn, WriteSource.HOST))
+        batch = buffer.pop_superwl(SpeedClass.FAST)
+        assert [p.lpn for p in batch] == [0, 1]
+        assert buffer.pending(SpeedClass.FAST) == 2
+
+    def test_pop_partial(self):
+        buffer = WriteBuffer(4)
+        buffer.push(SpeedClass.SLOW, BufferedPage(9, WriteSource.GC))
+        with pytest.raises(ValueError):
+            buffer.pop_superwl(SpeedClass.SLOW)
+        batch = buffer.pop_superwl(SpeedClass.SLOW, allow_partial=True)
+        assert [p.lpn for p in batch] == [9]
+
+    def test_pop_empty(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(2).pop_superwl(SpeedClass.FAST, allow_partial=True)
+
+    def test_drop_lpn(self):
+        buffer = WriteBuffer(4)
+        buffer.push(SpeedClass.FAST, BufferedPage(1, WriteSource.HOST))
+        buffer.push(SpeedClass.SLOW, BufferedPage(1, WriteSource.GC))
+        assert buffer.drop_lpn(1) == 2
+        assert buffer.total_pending() == 0
+
+    def test_buffered_lpns(self):
+        buffer = WriteBuffer(4)
+        buffer.push(SpeedClass.FAST, BufferedPage(7, WriteSource.HOST))
+        assert buffer.buffered_lpns() == {7: SpeedClass.FAST}
+
+
+def seed_records(allocator, lanes=(0, 1), blocks=4):
+    unit = GatheringUnit(SMALL_GEOMETRY)
+    rng = np.random.default_rng(5)
+    g = SMALL_GEOMETRY
+    for lane in lanes:
+        for block in range(blocks):
+            matrix = rng.normal(1700, 10, size=(g.layers_per_block, g.strings_per_layer))
+            record = GatheringUnit(g).gather_measurement(lane, 0, block, matrix)
+            allocator.register_free(record)
+
+
+class TestSimpleAllocator:
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError):
+            SimpleAllocator([0, 1], "bogus")
+
+    def test_allocate_one_per_lane(self):
+        allocator = SimpleAllocator([0, 1], "random", seed=1)
+        seed_records(allocator)
+        members = allocator.allocate(SpeedClass.FAST)
+        assert [m.lane for m in members] == [0, 1]
+        assert allocator.free_count(0) == 3
+
+    def test_sequential_prefers_lowest_block(self):
+        allocator = SimpleAllocator([0, 1], "sequential")
+        seed_records(allocator)
+        members = allocator.allocate(SpeedClass.FAST)
+        assert all(m.block == 0 for m in members)
+
+    def test_pgm_sorted_prefers_fastest(self):
+        allocator = SimpleAllocator([0, 1], "pgm_sorted")
+        seed_records(allocator)
+        members = allocator.allocate(SpeedClass.FAST)
+        for lane in (0, 1):
+            # no remaining free block on that lane is faster
+            remaining = allocator._free[lane]
+            chosen = next(m for m in members if m.lane == lane)
+            assert all(chosen.pgm_total_us <= r.pgm_total_us for r in remaining)
+
+    def test_exhaustion(self):
+        allocator = SimpleAllocator([0, 1], "random")
+        seed_records(allocator, blocks=1)
+        allocator.allocate(SpeedClass.FAST)
+        with pytest.raises(AllocationError):
+            allocator.allocate(SpeedClass.FAST)
+
+    def test_free_and_retire_cycle(self):
+        allocator = SimpleAllocator([0, 1], "random")
+        seed_records(allocator, blocks=2)
+        members = allocator.allocate(SpeedClass.FAST)
+        allocator.on_block_freed(members[0].lane, members[0].plane, members[0].block)
+        assert allocator.free_count(members[0].lane) == 2
+        allocator.on_block_retired(members[1].lane, members[1].plane, members[1].block)
+        assert allocator.free_count(members[1].lane) == 1
+        with pytest.raises(KeyError):
+            allocator.on_block_freed(members[1].lane, members[1].plane, members[1].block)
+
+    def test_no_metadata_cost(self):
+        allocator = SimpleAllocator([0, 1], "random")
+        assert allocator.metadata_bytes() == 0
+        assert allocator.pair_checks == 0
+
+
+class TestQstrAllocator:
+    def test_allocates_via_scheme(self):
+        allocator = QstrAllocator(SMALL_GEOMETRY, [0, 1])
+        seed_records(allocator)
+        members = allocator.allocate(SpeedClass.FAST)
+        assert sorted(m.lane for m in members) == [0, 1]
+        assert allocator.pair_checks > 0
+        assert allocator.metadata_bytes() > 0
+
+    def test_empty_lane_raises(self):
+        allocator = QstrAllocator(SMALL_GEOMETRY, [0, 1])
+        with pytest.raises(AllocationError):
+            allocator.allocate(SpeedClass.FAST)
+
+
+class TestFactory:
+    def test_kinds(self):
+        for kind in ("qstr", "random", "sequential", "pgm_sorted"):
+            allocator = make_allocator(kind, SMALL_GEOMETRY, [0, 1])
+            assert allocator.lanes == [0, 1]
+        with pytest.raises(ValueError):
+            make_allocator("nope", SMALL_GEOMETRY, [0, 1])

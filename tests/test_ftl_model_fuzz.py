@@ -1,0 +1,133 @@
+"""Model-based fuzzing: the FTL vs a plain dict, under random op streams.
+
+The reference model of a page store is one line: ``store[lpn] = lpn written
+last``.  Whatever sequence of writes, reads, trims, flushes — with GC, wear
+leveling and superpage steering churning underneath — the FTL must agree
+with the dict at every read and after every drain.  Runs across all four
+allocators and a mix of configs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import WriteIntent, WriteSource
+from repro.ftl import Ftl, FtlConfig, WearLevelingConfig
+from repro.nand import SMALL_GEOMETRY, FlashChip, VariationModel, VariationParams
+
+
+def build_ftl(allocator="qstr", seed=77, steering=False, wear=False):
+    model = VariationModel(
+        SMALL_GEOMETRY, VariationParams(factory_bad_ratio=0.0), seed=seed
+    )
+    chips = [FlashChip(model.chip_profile(c), SMALL_GEOMETRY) for c in range(3)]
+    config = FtlConfig(
+        usable_blocks_per_plane=10,
+        overprovision_ratio=0.4,
+        gc_low_watermark=2,
+        gc_high_watermark=3,
+        superpage_steering=steering,
+        wear_leveling=(
+            WearLevelingConfig(pe_gap_threshold=8, check_interval_erases=4)
+            if wear
+            else None
+        ),
+    )
+    ftl = Ftl(chips, config, allocator_kind=allocator)
+    ftl.format()
+    return ftl
+
+
+def apply_ops(ftl, ops):
+    """Run an op stream against the FTL and the dict model in lockstep."""
+    reference = {}
+    for op, lpn in ops:
+        lpn = lpn % ftl.logical_pages
+        if op == "write":
+            ftl.write(lpn)
+            reference[lpn] = lpn
+        elif op == "trim":
+            ftl.trim(lpn)
+            reference.pop(lpn, None)
+        elif op == "read":
+            result = ftl.read(lpn)
+            assert result.located == (lpn in reference), (op, lpn)
+        else:  # flush
+            ftl.flush()
+    ftl.flush()
+    return reference
+
+
+def check_against_reference(ftl, reference):
+    for lpn in range(ftl.logical_pages):
+        result = ftl.read(lpn)  # raises IntegrityError on corruption
+        assert result.located == (lpn in reference), lpn
+
+
+op_streams = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "write", "write", "read", "trim", "flush"]),
+        st.integers(0, 10_000),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestModelFuzz:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=op_streams)
+    def test_qstr_agrees_with_dict(self, ops):
+        ftl = build_ftl("qstr")
+        reference = apply_ops(ftl, ops)
+        check_against_reference(ftl, reference)
+
+    @pytest.mark.parametrize("allocator", ["random", "sequential", "pgm_sorted"])
+    def test_baseline_allocators_heavy_stream(self, allocator):
+        ftl = build_ftl(allocator)
+        rng = np.random.default_rng(hash(allocator) % 2**32)
+        ops = [
+            (str(rng.choice(["write", "write", "write", "read", "trim", "flush"])),
+             int(rng.integers(10_000)))
+            for _ in range(1500)
+        ]
+        reference = apply_ops(ftl, ops)
+        check_against_reference(ftl, reference)
+
+    def test_steering_and_wear_leveling_combo(self):
+        ftl = build_ftl("qstr", steering=True, wear=True)
+        rng = np.random.default_rng(9)
+        reference = {}
+        small = WriteIntent(WriteSource.HOST, pages=1, sequential=False)
+        big = WriteIntent(WriteSource.HOST, pages=32, sequential=True)
+        for _ in range(7000):
+            roll = rng.random()
+            lpn = int(rng.integers(ftl.logical_pages))
+            if roll < 0.75:
+                intent = small if rng.random() < 0.5 else big
+                ftl.write(lpn, WriteSource.HOST, intent=intent)
+                reference[lpn] = lpn
+            elif roll < 0.85:
+                ftl.trim(lpn)
+                reference.pop(lpn, None)
+            else:
+                result = ftl.read(lpn)
+                assert result.located == (lpn in reference)
+        ftl.flush()
+        check_against_reference(ftl, reference)
+        assert ftl.metrics.gc_runs > 0
+
+    def test_overwrite_storm_single_page(self):
+        # pathological: hammer one lpn; buffer coalescing + GC must cope
+        ftl = build_ftl("qstr")
+        for i in range(2000):
+            ftl.write(5)
+        ftl.flush()
+        assert ftl.read(5).located
+        # coalescing kept physical traffic far below 2000 pages
+        assert ftl.metrics.host_pages_written < 500

@@ -1,0 +1,165 @@
+"""RAID-4 parity-lane tests: capacity math, degraded reads, double faults."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpeedClass
+from repro.core.records import BlockRecord
+from repro.ftl import Ftl, FtlConfig, IntegrityError, ManagedSuperblock
+from repro.nand import (
+    SMALL_GEOMETRY,
+    EccConfig,
+    EccEngine,
+    FlashChip,
+    VariationModel,
+    VariationParams,
+)
+from repro.utils.bitvec import BitVector
+
+STRONG_ECC = EccConfig()
+#: stress level that saturates RBER -> every read on that lane fails
+DEAD_PE = 15_000
+
+
+def members(lanes=3):
+    return tuple(
+        BlockRecord(lane, 0, lane, 1000.0, BitVector([0, 1])) for lane in range(lanes)
+    )
+
+
+class TestSuperblockParityGeometry:
+    def test_data_lane_count(self):
+        sb = ManagedSuperblock(0, SpeedClass.FAST, members(3), SMALL_GEOMETRY, parity=True)
+        assert sb.lane_count == 3
+        assert sb.data_lane_count == 2
+        assert sb.parity_lane_index == 2
+        assert sb.pages_per_superwl == 2 * SMALL_GEOMETRY.bits_per_cell
+        assert sb.capacity_pages == 2 * SMALL_GEOMETRY.pages_per_block
+
+    def test_no_parity_defaults(self):
+        sb = ManagedSuperblock(0, SpeedClass.FAST, members(3), SMALL_GEOMETRY)
+        assert sb.parity_lane_index is None
+        assert sb.data_lane_count == 3
+
+    def test_parity_needs_two_lanes(self):
+        with pytest.raises(ValueError):
+            ManagedSuperblock(0, SpeedClass.FAST, members(1), SMALL_GEOMETRY, parity=True)
+
+    def test_slots_never_hit_parity_lane(self):
+        sb = ManagedSuperblock(0, SpeedClass.FAST, members(3), SMALL_GEOMETRY, parity=True)
+        for slot in range(sb.capacity_pages):
+            assert sb.slot_location(slot).lane_index < sb.data_lane_count
+
+
+def build_parity_ftl(weak_lanes=(), lanes=3, seed=61, blocks=10):
+    """FTL with parity on; ``weak_lanes`` are worn until their reads fail."""
+    params = VariationParams(
+        factory_bad_ratio=0.0, endurance_cycles=100_000, endurance_sigma_log=0.0
+    )
+    model = VariationModel(SMALL_GEOMETRY, params, seed=seed)
+    chips = []
+    for lane in range(lanes):
+        chip = FlashChip(
+            model.chip_profile(lane),
+            SMALL_GEOMETRY,
+            ecc=EccEngine(STRONG_ECC, SMALL_GEOMETRY),
+        )
+        if lane in weak_lanes:
+            for block in range(blocks):
+                chip.stress_block(0, block, DEAD_PE)
+        chips.append(chip)
+    ftl = Ftl(
+        chips,
+        FtlConfig(
+            usable_blocks_per_plane=blocks,
+            overprovision_ratio=0.4,
+            gc_low_watermark=2,
+            gc_high_watermark=3,
+            parity_protection=True,
+        ),
+    )
+    ftl.format()
+    return ftl
+
+
+class TestParityFtl:
+    def test_needs_three_lanes(self):
+        params = VariationParams(factory_bad_ratio=0.0)
+        model = VariationModel(SMALL_GEOMETRY, params, seed=1)
+        chips = [FlashChip(model.chip_profile(c), SMALL_GEOMETRY) for c in range(2)]
+        with pytest.raises(ValueError):
+            Ftl(chips, FtlConfig(usable_blocks_per_plane=8, parity_protection=True))
+
+    def test_capacity_excludes_parity_lane(self):
+        with_parity = build_parity_ftl()
+        params = VariationParams(
+            factory_bad_ratio=0.0, endurance_cycles=100_000, endurance_sigma_log=0.0
+        )
+        model = VariationModel(SMALL_GEOMETRY, params, seed=61)
+        chips = [FlashChip(model.chip_profile(c), SMALL_GEOMETRY) for c in range(3)]
+        plain = Ftl(
+            chips,
+            FtlConfig(usable_blocks_per_plane=10, overprovision_ratio=0.4),
+        )
+        assert with_parity.logical_pages == plain.logical_pages * 2 // 3
+
+    def test_clean_reads_unaffected(self):
+        ftl = build_parity_ftl()
+        for lpn in range(ftl.buffer.superwl_pages * 2):
+            ftl.write(lpn)
+        ftl.flush()
+        for lpn in range(ftl.buffer.superwl_pages * 2):
+            assert ftl.read(lpn).located
+        assert ftl.metrics.parity_reconstructions == 0
+
+    def test_degraded_read_reconstructs(self):
+        ftl = build_parity_ftl(weak_lanes=(0,))
+        count = ftl.buffer.superwl_pages * 3
+        for lpn in range(count):
+            ftl.write(lpn)
+        ftl.flush()
+        for lpn in range(count):
+            result = ftl.read(lpn)  # lane-0 pages must come back via parity
+            assert result.located
+        assert ftl.metrics.parity_reconstructions > 0
+
+    def test_degraded_read_latency_is_higher(self):
+        ftl = build_parity_ftl(weak_lanes=(0,))
+        count = ftl.buffer.superwl_pages * 3
+        for lpn in range(count):
+            ftl.write(lpn)
+        ftl.flush()
+        degraded, clean = [], []
+        for lpn in range(count):
+            before = ftl.metrics.parity_reconstructions
+            latency = ftl.read(lpn).latency_us
+            if ftl.metrics.parity_reconstructions > before:
+                degraded.append(latency)
+            else:
+                clean.append(latency)
+        assert degraded and clean
+        assert np.mean(degraded) > np.mean(clean)
+
+    def test_double_failure_surfaces(self):
+        # parity lane is the LAST lane; wearing it out plus a data lane
+        # makes reconstruction impossible
+        ftl = build_parity_ftl(weak_lanes=(0, 2), lanes=3)
+        for lpn in range(ftl.buffer.superwl_pages):
+            ftl.write(lpn)
+        ftl.flush()
+        with pytest.raises(IntegrityError):
+            for lpn in range(ftl.buffer.superwl_pages):
+                ftl.read(lpn)
+
+    def test_gc_relocates_through_reconstruction(self):
+        ftl = build_parity_ftl(weak_lanes=(0,))
+        rng = np.random.default_rng(3)
+        for lpn in range(ftl.logical_pages):
+            ftl.write(lpn)
+        for _ in range(ftl.logical_pages * 2):
+            ftl.write(int(rng.integers(ftl.logical_pages)))
+        ftl.flush()
+        assert ftl.metrics.gc_runs > 0
+        # data survived GC even though one lane is unreadable directly
+        for lpn in rng.choice(ftl.logical_pages, size=60, replace=False):
+            assert ftl.read(int(lpn)).located

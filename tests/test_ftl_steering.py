@@ -1,0 +1,118 @@
+"""Superpage-steering integration tests (Section V-D express/bulk streams)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WriteIntent, WriteSource
+from repro.ftl import Ftl, FtlConfig, WriteStream
+from repro.nand import FlashChip, NandGeometry, VariationModel, VariationParams
+
+GEOM = NandGeometry(
+    planes_per_chip=1,
+    blocks_per_plane=48,
+    layers_per_block=24,
+    strings_per_layer=4,
+    bits_per_cell=3,
+)
+
+SMALL = WriteIntent(WriteSource.HOST, pages=1, sequential=False)
+BIG = WriteIntent(WriteSource.HOST, pages=32, sequential=True)
+
+
+def build_ftl(steering=True, seed=5, blocks=40):
+    model = VariationModel(GEOM, VariationParams(factory_bad_ratio=0.0), seed=seed)
+    chips = [FlashChip(model.chip_profile(c), GEOM) for c in range(4)]
+    ftl = Ftl(
+        chips,
+        FtlConfig(
+            usable_blocks_per_plane=blocks,
+            overprovision_ratio=0.3,
+            gc_low_watermark=3,
+            gc_high_watermark=5,
+            superpage_steering=steering,
+        ),
+    )
+    ftl.format()
+    return ftl
+
+
+class TestWriteStream:
+    def test_speed_classes(self):
+        from repro.core import SpeedClass
+
+        assert WriteStream.SLOW.speed_class is SpeedClass.SLOW
+        for stream in (WriteStream.FAST, WriteStream.FAST_EXPRESS, WriteStream.FAST_BULK):
+            assert stream.speed_class is SpeedClass.FAST
+
+    def test_steered_flags(self):
+        assert WriteStream.FAST_EXPRESS.steered
+        assert WriteStream.FAST_BULK.steered
+        assert not WriteStream.FAST.steered
+        assert not WriteStream.SLOW.steered
+
+
+class TestStreamRouting:
+    def test_predictor_only_with_steering(self):
+        assert build_ftl(steering=True).predictor is not None
+        assert build_ftl(steering=False).predictor is None
+
+    def test_small_vs_big_streams(self):
+        ftl = build_ftl(steering=True)
+        assert ftl._stream_for(SMALL) is WriteStream.FAST_EXPRESS
+        assert ftl._stream_for(BIG) is WriteStream.FAST_BULK
+        assert (
+            ftl._stream_for(WriteIntent(WriteSource.GC)) is WriteStream.SLOW
+        )
+
+    def test_steering_off_uses_plain_fast(self):
+        ftl = build_ftl(steering=False)
+        assert ftl._stream_for(SMALL) is WriteStream.FAST
+        assert ftl._stream_for(BIG) is WriteStream.FAST
+
+    def test_intent_source_mismatch_rejected(self):
+        ftl = build_ftl(steering=False, blocks=12)
+        with pytest.raises(ValueError):
+            ftl.write(0, WriteSource.GC, intent=SMALL)
+
+
+class TestSteeredDataPath:
+    def test_express_lands_on_faster_superpages(self):
+        ftl = build_ftl(steering=True)
+        rng = np.random.default_rng(0)
+        for lpn in range(ftl.logical_pages):
+            intent = SMALL if rng.random() < 0.5 else BIG
+            ftl.write(lpn, WriteSource.HOST, intent=intent)
+        ftl.flush()
+        express = ftl.metrics.stream_write_us[WriteStream.FAST_EXPRESS.value]
+        bulk = ftl.metrics.stream_write_us[WriteStream.FAST_BULK.value]
+        assert express.count > 100 and bulk.count > 100
+        # the steering objective: small random writes see faster superpages
+        assert express.mean < bulk.mean
+
+    def test_integrity_with_steering_and_gc(self):
+        ftl = build_ftl(steering=True)
+        rng = np.random.default_rng(1)
+        for lpn in range(ftl.logical_pages):
+            ftl.write(lpn, WriteSource.HOST, intent=BIG)
+        for _ in range(int(ftl.logical_pages * 0.8)):
+            ftl.write(int(rng.integers(ftl.logical_pages)), WriteSource.HOST, intent=SMALL)
+        ftl.flush()
+        assert ftl.metrics.gc_runs > 0
+        for lpn in rng.choice(ftl.logical_pages, size=100, replace=False):
+            assert ftl.read(int(lpn)).located  # IntegrityError on corruption
+
+    def test_two_fast_superblocks_open(self):
+        ftl = build_ftl(steering=True)
+        # force one flush on each steered stream
+        for lpn in range(ftl.buffer.superwl_pages):
+            ftl.write(lpn, WriteSource.HOST, intent=SMALL)
+        for lpn in range(100, 100 + ftl.buffer.superwl_pages):
+            ftl.write(lpn, WriteSource.HOST, intent=BIG)
+        assert len(set(ftl._fast_pair)) == 2
+
+    def test_stream_metrics_labels(self):
+        ftl = build_ftl(steering=False, blocks=12)
+        for lpn in range(ftl.buffer.superwl_pages):
+            ftl.write(lpn)
+        ftl.flush()
+        assert WriteStream.FAST.value in ftl.metrics.stream_write_us

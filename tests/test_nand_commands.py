@@ -1,0 +1,95 @@
+"""Flash command-set tests."""
+
+import pytest
+
+from repro.nand import SMALL_GEOMETRY, FlashChip, PageType, VariationModel, VariationParams
+from repro.nand.commands import (
+    CommandKind,
+    CommandLog,
+    EraseTarget,
+    FlashCommand,
+    ProgramTarget,
+    ReadTarget,
+    erase_command,
+    execute,
+    program_command,
+    read_command,
+)
+from repro.nand.errors import MultiPlaneError
+
+
+@pytest.fixture()
+def chip():
+    model = VariationModel(
+        SMALL_GEOMETRY, VariationParams(factory_bad_ratio=0.0), seed=8
+    )
+    return FlashChip(model.chip_profile(0), SMALL_GEOMETRY)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(MultiPlaneError):
+            FlashCommand(CommandKind.ERASE, ())
+
+    def test_kind_target_mismatch(self):
+        with pytest.raises(MultiPlaneError):
+            FlashCommand(CommandKind.ERASE, (ReadTarget(0, 0, 0, PageType.LSB),))
+
+    def test_duplicate_planes(self):
+        with pytest.raises(MultiPlaneError):
+            erase_command(EraseTarget(0, 1), EraseTarget(0, 2))
+
+    def test_multi_plane_flag(self):
+        assert not erase_command(EraseTarget(0, 0)).is_multi_plane
+        assert erase_command(EraseTarget(0, 0), EraseTarget(1, 0)).is_multi_plane
+
+
+class TestExecution:
+    def test_erase_then_program_then_read(self, chip):
+        erase = execute(chip, erase_command(EraseTarget(0, 0), EraseTarget(1, 0)))
+        assert erase.kind is CommandKind.ERASE
+        assert erase.completion_us == max(erase.plane_latencies_us)
+        assert erase.extra_latency_us >= 0
+
+        program = execute(
+            chip,
+            program_command(
+                ProgramTarget(0, 0, 0, {PageType.LSB: "a"}),
+                ProgramTarget(1, 0, 0, {PageType.LSB: "b"}),
+            ),
+        )
+        assert program.completion_us == max(program.plane_latencies_us)
+
+        read = execute(
+            chip,
+            read_command(
+                ReadTarget(0, 0, 0, PageType.LSB), ReadTarget(1, 0, 0, PageType.LSB)
+            ),
+        )
+        assert read.payloads == ("a", "b")
+
+    def test_single_plane_extra_zero(self, chip):
+        result = execute(chip, erase_command(EraseTarget(0, 3)))
+        assert result.extra_latency_us == 0.0
+
+    def test_matches_chip_multiplane(self, chip):
+        # command layer and chip-level MP helper must agree on semantics
+        via_cmd = execute(chip, erase_command(EraseTarget(0, 4), EraseTarget(1, 4)))
+        other = FlashChip(chip.profile, SMALL_GEOMETRY)
+        via_chip = other.multiplane_erase([(0, 4), (1, 4)])
+        assert via_cmd.completion_us == via_chip.latency_us
+        assert via_cmd.extra_latency_us == via_chip.extra_latency_us
+
+
+class TestCommandLog:
+    def test_records_and_aggregates(self, chip):
+        log = CommandLog()
+        log.execute(chip, erase_command(EraseTarget(0, 5), EraseTarget(1, 5)))
+        log.execute(
+            chip,
+            program_command(ProgramTarget(0, 5, 0), ProgramTarget(1, 5, 0)),
+        )
+        assert log.count() == 2
+        assert log.count(CommandKind.ERASE) == 1
+        assert log.count(CommandKind.PROGRAM) == 1
+        assert log.total_extra_latency_us() >= 0

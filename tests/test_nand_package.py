@@ -1,0 +1,62 @@
+"""Flash package / testbed construction tests."""
+
+import pytest
+
+from repro.nand import (
+    PAPER_GEOMETRY,
+    PAPER_TESTBED_SPECS,
+    SMALL_GEOMETRY,
+    PackageSpec,
+    VariationModel,
+    VariationParams,
+    build_package,
+    build_paper_testbed,
+)
+from repro.nand import testbed_chips as flatten_testbed
+
+
+@pytest.fixture(scope="module")
+def model():
+    return VariationModel(SMALL_GEOMETRY, VariationParams(), seed=2)
+
+
+class TestPackageSpec:
+    def test_valid_die_counts(self):
+        for dies in (1, 2, 4, 8):
+            PackageSpec("X", channel=0, dies=dies)
+
+    def test_invalid_die_count(self):
+        with pytest.raises(ValueError):
+            PackageSpec("X", channel=0, dies=3)
+
+
+class TestBuildPackage:
+    def test_ddp(self, model):
+        package = build_package(model, PackageSpec("DDP", 0, 2), first_chip_id=10)
+        assert len(package) == 2
+        assert package.die(0).chip_id == 10
+        assert package.die(1).chip_id == 11
+
+    def test_ce_out_of_range(self, model):
+        package = build_package(model, PackageSpec("DDP", 0, 2), 0)
+        with pytest.raises(ValueError):
+            package.die(2)
+
+    def test_dies_list_copy(self, model):
+        package = build_package(model, PackageSpec("QDP", 0, 4), 0)
+        dies = package.dies
+        dies.clear()
+        assert len(package) == 4
+
+
+class TestPaperTestbed:
+    def test_twenty_four_dies(self):
+        model = VariationModel(PAPER_GEOMETRY, VariationParams(), seed=1)
+        packages = build_paper_testbed(model)
+        chips = flatten_testbed(packages)
+        assert len(packages) == len(PAPER_TESTBED_SPECS) == 8
+        assert len(chips) == 24  # 4 DDP x2 + 4 QDP x4 (Table IV)
+        assert len({chip.chip_id for chip in chips}) == 24
+
+    def test_channels_match_table_iv(self):
+        assert {spec.channel for spec in PAPER_TESTBED_SPECS} == {0, 2}

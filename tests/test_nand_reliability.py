@@ -1,0 +1,198 @@
+"""RBER model and ECC engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.nand import (
+    SMALL_GEOMETRY,
+    EccConfig,
+    EccEngine,
+    FlashChip,
+    PageType,
+    ReliabilityParams,
+    VariationModel,
+    VariationParams,
+    rber,
+)
+from repro.nand.errors import UncorrectableReadError
+
+
+class TestRberModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityParams(base_rber=0)
+        with pytest.raises(ValueError):
+            ReliabilityParams(pe_scale_cycles=0)
+        with pytest.raises(ValueError):
+            ReliabilityParams(page_type_factor_step=0.5)
+        with pytest.raises(ValueError):
+            rber(ReliabilityParams(), pe=-1, retention_hours=0, page_type=PageType.LSB)
+
+    def test_grows_with_pe(self):
+        params = ReliabilityParams()
+        fresh = rber(params, 0, 0, PageType.LSB)
+        worn = rber(params, 3000, 0, PageType.LSB)
+        assert worn > fresh * 10
+
+    def test_grows_with_retention(self):
+        params = ReliabilityParams()
+        assert rber(params, 1000, 800, PageType.LSB) > rber(params, 1000, 0, PageType.LSB)
+
+    def test_page_type_ordering(self):
+        params = ReliabilityParams()
+        lsb = rber(params, 1000, 0, PageType.LSB)
+        csb = rber(params, 1000, 0, PageType.CSB)
+        msb = rber(params, 1000, 0, PageType.MSB)
+        assert lsb < csb < msb
+
+    def test_saturates_at_half(self):
+        assert rber(ReliabilityParams(), 100_000, 0, PageType.MSB) == 0.5
+
+
+class TestProfileRber:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        model = VariationModel(SMALL_GEOMETRY, VariationParams(), seed=3)
+        return model.chip_profile(0)
+
+    def test_positive_and_bounded(self, profile):
+        value = profile.page_rber(0, 0, 0, PageType.LSB)
+        assert 0 < value <= 0.5
+
+    def test_block_to_block_variation(self, profile):
+        values = {
+            profile.page_rber(0, b, 0, PageType.LSB) for b in range(10)
+        }
+        assert len(values) > 1
+
+    def test_layer_to_layer_variation(self, profile):
+        g = SMALL_GEOMETRY
+        values = {
+            profile.page_rber(0, 0, layer * g.strings_per_layer, PageType.LSB)
+            for layer in range(g.layers_per_block)
+        }
+        assert len(values) > 1
+
+    def test_bounds_checked(self, profile):
+        with pytest.raises(ValueError):
+            profile.page_rber(0, 0, 999, PageType.LSB)
+
+
+class TestEccEngine:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EccConfig(codeword_bytes=0)
+        with pytest.raises(ValueError):
+            EccConfig(correctable_bits=0)
+        with pytest.raises(ValueError):
+            EccConfig(max_read_retries=-1)
+        with pytest.raises(ValueError):
+            EccConfig(retry_rber_factor=0)
+
+    def test_codewords_per_page(self):
+        config = EccConfig(codeword_bytes=1024)
+        assert config.codewords_per_page(SMALL_GEOMETRY) == 4  # 4 KiB user data
+
+    def test_clean_read(self):
+        engine = EccEngine(EccConfig(), SMALL_GEOMETRY)
+        result = engine.read_page(0.0, np.random.default_rng(0))
+        assert result.corrected_bits == 0
+        assert result.retries == 0
+        assert not result.uncorrectable
+
+    def test_low_rber_corrected(self):
+        engine = EccEngine(EccConfig(), SMALL_GEOMETRY)
+        result = engine.read_page(1e-4, np.random.default_rng(0))
+        assert not result.uncorrectable
+        assert result.corrected_bits >= 0
+
+    def test_high_rber_retries_then_succeeds(self):
+        # pick an rber above the per-codeword capability but which halving
+        # brings back into range
+        config = EccConfig(correctable_bits=72, max_read_retries=4)
+        engine = EccEngine(config, SMALL_GEOMETRY)
+        result = engine.read_page(0.012, np.random.default_rng(1))
+        assert result.retries > 0
+        assert not result.uncorrectable
+        assert result.extra_latency_us == result.retries * config.retry_latency_us
+
+    def test_hopeless_rber_uncorrectable(self):
+        config = EccConfig(max_read_retries=2)
+        engine = EccEngine(config, SMALL_GEOMETRY)
+        result = engine.read_page(0.4, np.random.default_rng(2))
+        assert result.uncorrectable
+        assert engine.uncorrectable_pages == 1
+
+    def test_rber_bounds(self):
+        engine = EccEngine(EccConfig(), SMALL_GEOMETRY)
+        with pytest.raises(ValueError):
+            engine.read_page(0.6, np.random.default_rng(0))
+
+    def test_retry_rate_counter(self):
+        engine = EccEngine(EccConfig(), SMALL_GEOMETRY)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            engine.read_page(1e-5, rng)
+        assert engine.pages_read == 5
+        assert engine.retry_rate == 0.0
+
+
+class TestChipIntegration:
+    def make_chip(self, ecc=True):
+        params = VariationParams(
+            factory_bad_ratio=0.0, endurance_cycles=100_000, endurance_sigma_log=0.0
+        )
+        model = VariationModel(SMALL_GEOMETRY, params, seed=5)
+        engine = EccEngine(EccConfig(), SMALL_GEOMETRY) if ecc else None
+        return FlashChip(model.chip_profile(0), SMALL_GEOMETRY, ecc=engine)
+
+    def test_fresh_read_has_correction_info(self):
+        chip = self.make_chip()
+        chip.erase_block(0, 0)
+        chip.program_wordline(0, 0, 0, data={PageType.LSB: 7})
+        result, payload = chip.read_page(0, 0, 0, PageType.LSB)
+        assert payload == 7
+        assert result.correction is not None
+        assert not result.correction.uncorrectable
+
+    def test_no_ecc_means_no_correction(self):
+        chip = self.make_chip(ecc=False)
+        chip.erase_block(0, 0)
+        chip.program_wordline(0, 0, 0)
+        result, _ = chip.read_page(0, 0, 0, PageType.LSB)
+        assert result.correction is None
+
+    def test_bake_tracks_retention(self):
+        chip = self.make_chip()
+        assert chip.clock_hours == 0.0
+        chip.bake(100.0)
+        assert chip.clock_hours == 100.0
+        with pytest.raises(ValueError):
+            chip.bake(-1)
+
+    def test_worn_baked_read_fails(self):
+        chip = self.make_chip()
+        chip.stress_block(0, 0, 12_000)
+        chip.erase_block(0, 0)
+        chip.program_wordline(0, 0, 0)
+        chip.bake(2_000)
+        with pytest.raises(UncorrectableReadError):
+            chip.read_page(0, 0, 0, PageType.MSB)
+
+    def test_retry_latency_surfaces(self):
+        # near end of life, MSB reads should sometimes need retries, and
+        # the retry latency lands in the reported read time
+        chip = self.make_chip()
+        chip.stress_block(0, 0, 6_000)
+        chip.erase_block(0, 0)
+        chip.program_block(0, 0)
+        latencies = []
+        retried = 0
+        g = SMALL_GEOMETRY
+        for lwl in range(g.lwls_per_block):
+            result, _ = chip.read_page(0, 0, lwl, PageType.MSB)
+            latencies.append(result.latency_us)
+            if result.correction.retries:
+                retried += 1
+        assert retried > 0
+        assert max(latencies) > min(latencies)

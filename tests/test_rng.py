@@ -1,0 +1,53 @@
+"""Seeded RNG discipline tests."""
+
+from repro.utils.rng import RngFactory, derive_seed, spawn_pair
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_path_sensitivity(self):
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_path_flattening_distinct(self):
+        # ("ab",) vs ("a", "b") must not collide via naive concatenation
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(0, "x")
+        assert 0 <= seed < 2**64
+
+
+class TestRngFactory:
+    def test_same_path_same_stream(self):
+        f = RngFactory(3)
+        a = f.generator("chip", 0).normal(size=5)
+        b = f.generator("chip", 0).normal(size=5)
+        assert (a == b).all()
+
+    def test_different_path_different_stream(self):
+        f = RngFactory(3)
+        a = f.generator("chip", 0).normal(size=5)
+        b = f.generator("chip", 1).normal(size=5)
+        assert not (a == b).all()
+
+    def test_child_factory_consistency(self):
+        f = RngFactory(3)
+        direct = f.generator("chip", 0, "noise").normal(size=3)
+        child = f.child("chip", 0).generator("noise").normal(size=3)
+        # Children re-root the seed, so streams differ from the direct path —
+        # but each is itself deterministic.
+        again = f.child("chip", 0).generator("noise").normal(size=3)
+        assert (child == again).all()
+        assert direct.shape == child.shape
+
+    def test_spawn_pair_independent(self):
+        f = RngFactory(9)
+        a, b = spawn_pair(f, "noise")
+        assert not (a.normal(size=8) == b.normal(size=8)).all()
+
+    def test_repr(self):
+        assert "42" in repr(RngFactory(42))

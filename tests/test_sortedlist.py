@@ -1,0 +1,100 @@
+"""SortedKeyList unit and property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.sortedlist import SortedKeyList
+
+
+def make(items=()):
+    return SortedKeyList(items, key=lambda x: x)
+
+
+class TestBasics:
+    def test_initial_sort(self):
+        assert list(make([3, 1, 2])) == [1, 2, 3]
+
+    def test_add_returns_position(self):
+        lst = make([1, 3])
+        assert lst.add(2) == 1
+        assert list(lst) == [1, 2, 3]
+
+    def test_ties_keep_insertion_order(self):
+        lst = SortedKeyList(key=lambda pair: pair[0])
+        lst.add((1, "a"))
+        lst.add((1, "b"))
+        lst.add((1, "c"))
+        assert [x[1] for x in lst] == ["a", "b", "c"]
+
+    def test_pop_head_tail(self):
+        lst = make([2, 1, 3])
+        assert lst.pop_head() == 1
+        assert lst.pop_tail() == 3
+        assert list(lst) == [2]
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            make().pop_head()
+        with pytest.raises(IndexError):
+            make().pop_tail()
+
+    def test_head_tail_views(self):
+        lst = make([5, 1, 4, 2, 3])
+        assert lst.head(2) == [1, 2]
+        assert lst.tail(2) == [4, 5]
+        assert lst.tail(0) == []
+        assert lst.head(10) == [1, 2, 3, 4, 5]
+
+    def test_remove(self):
+        lst = make([1, 2, 2, 3])
+        lst.remove(2)
+        assert list(lst) == [1, 2, 3]
+
+    def test_remove_absent(self):
+        with pytest.raises(ValueError):
+            make([1]).remove(2)
+
+    def test_contains_and_index(self):
+        lst = make([10, 20, 30])
+        assert 20 in lst
+        assert 25 not in lst
+        assert lst.index_of(30) == 2
+        assert lst.index_of(5) is None
+
+    def test_getitem(self):
+        lst = make([3, 1, 2])
+        assert lst[0] == 1
+        assert lst[-1] == 3
+        assert lst[0:2] == [1, 2]
+
+    def test_remove_distinct_objects_same_key(self):
+        lst = SortedKeyList(key=lambda pair: pair[0])
+        a, b = (1, "a"), (1, "b")
+        lst.add(a)
+        lst.add(b)
+        lst.remove(b)
+        assert list(lst) == [a]
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-100, 100)))
+    def test_always_sorted(self, values):
+        lst = make()
+        for v in values:
+            lst.add(v)
+        assert list(lst) == sorted(values)
+
+    @given(st.lists(st.integers(-50, 50), min_size=1))
+    def test_pop_head_is_min(self, values):
+        lst = make(values)
+        assert lst.pop_head() == min(values)
+
+    @given(st.lists(st.integers(-50, 50), min_size=1), st.data())
+    def test_remove_keeps_order(self, values, data):
+        lst = make(values)
+        victim = data.draw(st.sampled_from(values))
+        lst.remove(victim)
+        remaining = list(values)
+        remaining.remove(victim)
+        assert list(lst) == sorted(remaining)

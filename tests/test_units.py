@@ -1,0 +1,52 @@
+"""Unit helpers tests."""
+
+import pytest
+
+from repro.utils.units import (
+    format_bytes,
+    format_us,
+    improvement_pct,
+    ms_to_us,
+    us_to_ms,
+    us_to_s,
+)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert us_to_ms(ms_to_us(3.5)) == pytest.approx(3.5)
+
+    def test_us_to_s(self):
+        assert us_to_s(2_000_000) == pytest.approx(2.0)
+
+
+class TestFormatting:
+    def test_format_us_scales(self):
+        assert format_us(12.5) == "12.50 us"
+        assert format_us(1500) == "1.50 ms"
+        assert format_us(2_500_000) == "2.500 s"
+
+    def test_format_us_negative(self):
+        assert format_us(-1500) == "-1.50 ms"
+
+    def test_format_bytes_scales(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0 MiB"
+        assert "GiB" in format_bytes(5 * 1024**3)
+        assert "TiB" in format_bytes(2 * 1024**4)
+
+    def test_format_bytes_negative(self):
+        assert format_bytes(-2048) == "-2.0 KiB"
+
+
+class TestImprovement:
+    def test_positive_when_smaller(self):
+        assert improvement_pct(100, 80) == pytest.approx(20.0)
+
+    def test_negative_when_larger(self):
+        assert improvement_pct(100, 120) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_pct(0, 1)

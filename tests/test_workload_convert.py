@@ -1,0 +1,114 @@
+"""MSR trace conversion tests."""
+
+import pytest
+
+from repro.workloads.convert import (
+    FILETIME_TICK_US,
+    convert_msr_line,
+    convert_msr_trace,
+    iter_msr_trace,
+)
+from repro.workloads.model import OpKind
+from repro.workloads.trace import TraceFormatError
+
+PAGE = 4096
+
+
+class TestLineConversion:
+    def test_write_line(self):
+        request = convert_msr_line(
+            "128166372003061629,src1,0,Write,8192,8192,100", PAGE
+        )
+        assert request.op is OpKind.WRITE
+        assert request.lpn == 2
+        assert request.pages == 2
+
+    def test_read_line_and_partial_pages(self):
+        # 100 bytes starting mid-page still touches exactly one page
+        request = convert_msr_line("0,h,0,Read,100,100,5", PAGE)
+        assert request.op is OpKind.READ
+        assert request.lpn == 0
+        assert request.pages == 1
+
+    def test_page_straddle(self):
+        # 2 bytes straddling a page boundary -> two pages
+        request = convert_msr_line(f"0,h,0,Write,{PAGE - 1},2,5", PAGE)
+        assert request.lpn == 0
+        assert request.pages == 2
+
+    def test_time_origin(self):
+        request = convert_msr_line("1000,h,0,Write,0,512,1", PAGE, time_origin_ticks=0)
+        assert request.time_us == pytest.approx(1000 * FILETIME_TICK_US)
+
+    def test_errors(self):
+        with pytest.raises(TraceFormatError):
+            convert_msr_line("1,2,3", PAGE)
+        with pytest.raises(TraceFormatError):
+            convert_msr_line("x,h,0,Write,0,512,1", PAGE)
+        with pytest.raises(TraceFormatError):
+            convert_msr_line("0,h,0,Flush,0,512,1", PAGE)
+        with pytest.raises(TraceFormatError):
+            convert_msr_line("0,h,0,Write,0,0,1", PAGE)
+        with pytest.raises(ValueError):
+            convert_msr_line("0,h,0,Write,0,512,1", 0)
+
+
+@pytest.fixture()
+def msr_file(tmp_path):
+    path = tmp_path / "msr.csv"
+    path.write_text(
+        "# comment\n"
+        "1000,h,0,Write,0,8192,1\n"
+        "2000,h,0,Read,4096,4096,1\n"
+        "3000,h,0,Write,1000000,4096,1\n"
+    )
+    return path
+
+
+class TestFileConversion:
+    def test_iter(self, msr_file):
+        requests = list(iter_msr_trace(msr_file, PAGE))
+        assert len(requests) == 3
+        assert requests[0].time_us == 0.0  # origin = first record
+        assert requests[1].time_us == pytest.approx(100.0)
+
+    def test_time_scale(self, msr_file):
+        requests = list(iter_msr_trace(msr_file, PAGE, time_scale=0.5))
+        assert requests[1].time_us == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            list(iter_msr_trace(msr_file, PAGE, time_scale=0))
+
+    def test_modulo_fold(self, msr_file):
+        requests = convert_msr_trace(msr_file, PAGE, logical_pages=100)
+        assert len(requests) == 3
+        # 1000000 // 4096 = 244 -> folds to 44
+        assert requests[2].lpn == 44
+
+    def test_drop_out_of_range(self, msr_file):
+        requests = convert_msr_trace(
+            msr_file, PAGE, logical_pages=100, modulo_fold=False
+        )
+        assert len(requests) == 2
+
+    def test_no_clamp_without_logical(self, msr_file):
+        requests = convert_msr_trace(msr_file, PAGE)
+        assert requests[2].lpn == 244
+
+    def test_replayable(self, msr_file):
+        # converted requests drive the real stack end to end
+        from repro.ftl import Ftl, FtlConfig
+        from repro.nand import SMALL_GEOMETRY, FlashChip, VariationModel, VariationParams
+        from repro.ssd import Ssd
+        from repro.workloads import Replayer
+
+        model = VariationModel(
+            SMALL_GEOMETRY, VariationParams(factory_bad_ratio=0.0), seed=2
+        )
+        chips = [FlashChip(model.chip_profile(c), SMALL_GEOMETRY) for c in range(2)]
+        ftl = Ftl(chips, FtlConfig(usable_blocks_per_plane=8, overprovision_ratio=0.3))
+        ftl.format()
+        requests = convert_msr_trace(
+            msr_file, SMALL_GEOMETRY.page_user_bytes, logical_pages=ftl.logical_pages
+        )
+        report = Replayer(Ssd(ftl)).replay(requests)
+        assert len(report.completed) == 3

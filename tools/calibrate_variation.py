@@ -1,0 +1,100 @@
+"""Calibration harness for the process-variation model.
+
+Runs the assembly-method comparison on the synthetic testbed and prints each
+method's mean extra program/erase latency and improvement over random, next
+to the paper's reported numbers (Tables I/II/V).  Used to tune
+`VariationParams` defaults; re-run after any model change.
+
+Usage:  python tools/calibrate_variation.py [--blocks N] [--seed S] [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.assembly import (
+    ErsLatencyAssembler,
+    LwlRankAssembler,
+    OptimalAssembler,
+    PgmLatencyAssembler,
+    RandomAssembler,
+    SequentialAssembler,
+    StrMedianAssembler,
+    StrRankAssembler,
+    PwlRankAssembler,
+    build_lane_pools,
+    evaluate_assembler,
+)
+from repro.nand import PAPER_GEOMETRY, FlashChip, VariationModel, VariationParams
+
+PAPER_IMPROVEMENT = {
+    "sequential": 10.45,
+    "ers_ltn": 8.55,
+    "pgm_ltn": 10.37,
+    "optimal(8)": 19.49,
+    "lwl_rank(8)": 14.11,
+    "pwl_rank(8)": 15.57,
+    "str_rank(8)": 18.27,
+    "str_rank(6)": 18.05,
+    "str_rank(4)": 17.42,
+    "str_rank(2)": 15.02,
+    "str_med(4)": 16.74,
+}
+PAPER_RANDOM_PGM = 13084.17
+PAPER_RANDOM_ERS = 41.71
+PAPER_ERS = {"optimal(8)": 22.65, "str_med(4)": 24.97, "sequential": 40.12}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--blocks", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--chips", type=int, default=4)
+    parser.add_argument("--fast", action="store_true", help="skip optimal/lwl/pwl")
+    args = parser.parse_args()
+
+    model = VariationModel(PAPER_GEOMETRY, VariationParams(), seed=args.seed)
+    chips = [FlashChip(model.chip_profile(c), PAPER_GEOMETRY) for c in range(args.chips)]
+
+    t0 = time.time()
+    pools = build_lane_pools(chips, range(args.blocks))
+    print(f"probed {sum(len(p) for p in pools)} blocks in {time.time()-t0:.1f}s")
+
+    methods = [
+        RandomAssembler(seed=1),
+        SequentialAssembler(),
+        ErsLatencyAssembler(),
+        PgmLatencyAssembler(),
+        StrRankAssembler(8),
+        StrRankAssembler(6),
+        StrRankAssembler(4),
+        StrRankAssembler(2),
+        StrMedianAssembler(4),
+    ]
+    if not args.fast:
+        methods += [OptimalAssembler(8), LwlRankAssembler(8), PwlRankAssembler(8)]
+
+    baseline = evaluate_assembler(methods[0], pools)
+    print(
+        f"\n{'method':<14} {'PGM us':>10} {'ERS us':>8} {'imp%':>7} {'paper%':>7}"
+        f"   (random PGM paper {PAPER_RANDOM_PGM:,.0f}, ERS {PAPER_RANDOM_ERS})"
+    )
+    print(
+        f"{'random':<14} {baseline.mean_extra_program_us:>10,.1f} "
+        f"{baseline.mean_extra_erase_us:>8,.2f} {'-':>7} {'-':>7}"
+    )
+    for method in methods[1:]:
+        t0 = time.time()
+        result = evaluate_assembler(method, pools)
+        imp = result.program_improvement_vs(baseline)
+        paper = PAPER_IMPROVEMENT.get(method.name, float("nan"))
+        print(
+            f"{method.name:<14} {result.mean_extra_program_us:>10,.1f} "
+            f"{result.mean_extra_erase_us:>8,.2f} {imp:>7.2f} {paper:>7.2f}"
+            f"   [{time.time()-t0:.1f}s]"
+        )
+
+
+if __name__ == "__main__":
+    main()
