@@ -7,6 +7,7 @@ Paper: 52 bytes per 384-LWL block (4 B latency sum + 48 B eigen bits);
 from repro.analysis import render_table
 from repro.core import FootprintModel, GatheringUnit, QstrMedScheme
 from repro.nand import PAPER_GEOMETRY
+from repro.utils.rng import derive_seed
 from repro.utils.units import TIB, format_bytes
 
 import numpy as np
@@ -39,7 +40,7 @@ def test_overhead_space(benchmark):
     # Cross-check Equation 2 against the *runtime* accounting: a scheme
     # holding N records reports N x 52 B plus only the open-block staging.
     scheme = QstrMedScheme(PAPER_GEOMETRY, lanes=[0, 1])
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(derive_seed(0, "bench", "overhead_space"))
     count = 8
     for lane in (0, 1):
         for block in range(count):

@@ -76,7 +76,9 @@ def test_reliability_pe(benchmark):
     assert all(a <= b for a, b in zip(corrected, corrected[1:]))
     assert corrected[-1] > corrected[0] * 50
     # Retries appear near end of life and cost read latency.
-    assert points[0]["retry_rate"] == 0.0
+    # Fresh blocks must need literally zero retries; the exact-zero compare
+    # is deliberate (the rate is a count ratio, not an accumulated float).
+    assert points[0]["retry_rate"] == 0.0  # reprolint: disable=NUM001
     assert points[-1]["retry_rate"] > 0.0
     assert points[-1]["mean_read_us"] > points[0]["mean_read_us"]
     # Within the endurance budget nothing is uncorrectable.

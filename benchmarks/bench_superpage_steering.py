@@ -12,6 +12,7 @@ from repro.analysis import render_table
 from repro.core import WriteIntent, WriteSource
 from repro.ftl import Ftl, FtlConfig, WriteStream
 from repro.nand import FlashChip, NandGeometry, VariationModel, VariationParams
+from repro.utils.rng import derive_seed
 
 GEOM = NandGeometry(
     planes_per_chip=1,
@@ -36,7 +37,7 @@ def run_workload(steering: bool):
         ),
     )
     ftl.format()
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(derive_seed(7, "bench", "superpage_steering"))
     small = WriteIntent(WriteSource.HOST, pages=1, sequential=False)
     big = WriteIntent(WriteSource.HOST, pages=32, sequential=True)
     for lpn in range(ftl.logical_pages):

@@ -11,6 +11,7 @@ import numpy as np
 from repro.analysis import render_table
 from repro.ftl import Ftl, FtlConfig, WearLevelingConfig
 from repro.nand import SMALL_GEOMETRY, FlashChip, VariationModel, VariationParams
+from repro.utils.rng import derive_seed
 
 
 def run(leveling: bool):
@@ -31,7 +32,7 @@ def run(leveling: bool):
     )
     ftl = Ftl(chips, config)
     ftl.format()
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(derive_seed(0, "bench", "wear_leveling"))
     hot = max(1, ftl.logical_pages // 10)
     for lpn in range(ftl.logical_pages):
         ftl.write(lpn)

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.assembly import (
+    Assembler,
     ErsLatencyAssembler,
     LanePool,
     LwlRankAssembler,
@@ -85,7 +86,7 @@ TABLE1_METHODS = (
 )
 
 
-def _assembler_for(name: str, seed: int = 1):
+def _assembler_for(name: str, seed: int = 1) -> Assembler:
     registry = {
         "RANDOM": lambda: RandomAssembler(seed=seed),
         "SEQUENTIAL": SequentialAssembler,

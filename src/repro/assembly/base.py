@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -70,7 +70,9 @@ class LanePool:
     def __len__(self) -> int:
         return len(self.blocks)
 
-    def sorted_by(self, key) -> List[BlockMeasurement]:
+    def sorted_by(
+        self, key: Callable[[BlockMeasurement], Any]
+    ) -> List[BlockMeasurement]:
         return sorted(self.blocks, key=key)
 
 
@@ -142,7 +144,7 @@ class WindowedAssembler(Assembler):
     Subclasses see only measured data (never the generative model).
     """
 
-    def __init__(self, window: int):
+    def __init__(self, window: int) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = window

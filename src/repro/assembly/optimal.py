@@ -32,7 +32,7 @@ class OptimalAssembler(WindowedAssembler):
 
     name = "optimal"
 
-    def __init__(self, window: int = 8, refine_passes: int = 4):
+    def __init__(self, window: int = 8, refine_passes: int = 4) -> None:
         super().__init__(window)
         if refine_passes < 0:
             raise ValueError("refine_passes must be >= 0")

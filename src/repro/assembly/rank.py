@@ -33,7 +33,7 @@ class RankWindowAssembler(WindowedAssembler):
         self,
         window: int,
         builder: Callable[[BlockMeasurement], np.ndarray],
-    ):
+    ) -> None:
         super().__init__(window)
         self._signatures = SignatureCache(builder)
 
@@ -59,7 +59,7 @@ class LwlRankAssembler(RankWindowAssembler):
 
     name = "lwl_rank"
 
-    def __init__(self, window: int = 8):
+    def __init__(self, window: int = 8) -> None:
         super().__init__(window, lwl_rank_signature)
         self.name = f"lwl_rank({window})"
 
@@ -69,7 +69,7 @@ class PwlRankAssembler(RankWindowAssembler):
 
     name = "pwl_rank"
 
-    def __init__(self, window: int = 8):
+    def __init__(self, window: int = 8) -> None:
         super().__init__(window, pwl_rank_signature)
         self.name = f"pwl_rank({window})"
 
@@ -79,7 +79,7 @@ class StrRankAssembler(RankWindowAssembler):
 
     name = "str_rank"
 
-    def __init__(self, window: int = 8):
+    def __init__(self, window: int = 8) -> None:
         super().__init__(window, str_rank_signature)
         self.name = f"str_rank({window})"
 
@@ -93,6 +93,6 @@ class StrMedianAssembler(RankWindowAssembler):
 
     name = "str_med"
 
-    def __init__(self, window: int = 4):
+    def __init__(self, window: int = 4) -> None:
         super().__init__(window, str_median_signature)
         self.name = f"str_med({window})"

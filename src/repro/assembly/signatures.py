@@ -21,7 +21,7 @@ cross-checks the two representations).
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterable
 
 import numpy as np
 
@@ -100,7 +100,7 @@ def signature_distance(a: np.ndarray, b: np.ndarray) -> int:
 class SignatureCache:
     """Memoizes signatures per measurement (keyed by identity)."""
 
-    def __init__(self, builder: Callable[[BlockMeasurement], np.ndarray]):
+    def __init__(self, builder: Callable[[BlockMeasurement], np.ndarray]) -> None:
         self._builder = builder
         self._cache: Dict[int, np.ndarray] = {}
 
@@ -113,6 +113,6 @@ class SignatureCache:
             self._cache[key] = cached
         return cached
 
-    def stack(self, measurements) -> np.ndarray:
+    def stack(self, measurements: Iterable[BlockMeasurement]) -> np.ndarray:
         """Signatures of several measurements stacked as ``(k, L)``."""
         return np.stack([self.get(m) for m in measurements])

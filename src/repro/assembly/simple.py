@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.assembly.base import LanePool, ZipAssembler
 from repro.characterization.datasets import BlockMeasurement
+from repro.utils.rng import derive_seed
 
 
 class RandomAssembler(ZipAssembler):
@@ -26,11 +27,13 @@ class RandomAssembler(ZipAssembler):
 
     name = "random"
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self._seed = seed
 
     def order_pool(self, pool: LanePool) -> List[BlockMeasurement]:
-        rng = np.random.default_rng((self._seed, pool.lane))
+        rng = np.random.default_rng(
+            derive_seed(self._seed, "assembly", "random", pool.lane)
+        )
         order = rng.permutation(len(pool.blocks))
         return [pool.blocks[i] for i in order]
 

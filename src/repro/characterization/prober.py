@@ -30,7 +30,7 @@ class ProbePlan:
 class Prober:
     """Collects block erase / word-line program latencies from one chip."""
 
-    def __init__(self, chip: FlashChip):
+    def __init__(self, chip: FlashChip) -> None:
         self._chip = chip
         self._geometry = chip.geometry
 

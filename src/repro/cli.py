@@ -7,14 +7,15 @@ experiments without writing code:
 * ``repro figures`` — print the sparkline versions of Figures 5/6/13/14;
 * ``repro replay``  — run a trace (file or synthetic) through the simulated
   SSD with a chosen allocator and print the latency report;
-* ``repro overhead`` — the computing/space overhead numbers of Section VI.
+* ``repro overhead`` — the computing/space overhead numbers of Section VI;
+* ``repro lint``    — run the ``reprolint`` simulation-invariant checks.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis import (
     TABLE1_METHODS,
@@ -41,7 +42,8 @@ from repro.core import (
     qstr_med_pair_checks,
     str_med_pair_checks,
 )
-from repro.nand import PAPER_GEOMETRY
+from repro.assembly import LanePool
+from repro.nand import PAPER_GEOMETRY, FlashChip
 from repro.utils.units import TIB, format_bytes
 
 
@@ -51,14 +53,16 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2024, help="testbed seed")
 
 
-def _build_pools(args):
+def _build_pools(
+    args: argparse.Namespace,
+) -> Tuple[List[FlashChip], List[LanePool]]:
     config = TestbedConfig(seed=args.seed, chips=args.chips, pool_blocks=args.blocks)
     chips = build_testbed(config)
     print(f"probing {args.chips} chips x {args.blocks} blocks ...", file=sys.stderr)
     return chips, standard_pools(chips, args.blocks)
 
 
-def cmd_tables(args) -> int:
+def cmd_tables(args: argparse.Namespace) -> int:
     _, pools = _build_pools(args)
     if args.table in ("1", "all"):
         _, rows = run_methods(pools, TABLE1_METHODS)
@@ -75,7 +79,7 @@ def cmd_tables(args) -> int:
     return 0
 
 
-def cmd_figures(args) -> int:
+def cmd_figures(args: argparse.Namespace) -> int:
     chips, pools = _build_pools(args)
     if args.figure in ("5", "all"):
         series = fig5_characterization(
@@ -128,7 +132,7 @@ def cmd_figures(args) -> int:
     return 0
 
 
-def cmd_replay(args) -> int:
+def cmd_replay(args: argparse.Namespace) -> int:
     from repro.ftl import Ftl, FtlConfig
     from repro.nand import FlashChip, NandGeometry, VariationModel, VariationParams
     from repro.ssd import Ssd, TimingConfig
@@ -199,7 +203,7 @@ def cmd_replay(args) -> int:
     return 0
 
 
-def cmd_overhead(args) -> int:
+def cmd_overhead(args: argparse.Namespace) -> int:
     print("Computing overhead (Section VI-B2):")
     print(
         f"  STR-MED({args.window}) pair checks per superblock: "
@@ -217,6 +221,36 @@ def cmd_overhead(args) -> int:
     print(f"  bytes per block: {footprint.bytes_per_block}")
     print(f"  1 TB SSD footprint: {format_bytes(footprint.footprint_bytes(TIB))}")
     return 0
+
+
+_DEFAULT_LINT_PATHS = ("src", "benchmarks", "examples", "tools")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import lint_paths, render_json, render_text
+
+    if args.paths:
+        missing = [p for p in args.paths if not Path(p).exists()]
+        if missing:
+            print(
+                f"repro lint: no such path(s): {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 2
+        paths: Sequence[str] = args.paths
+    else:
+        paths = [p for p in _DEFAULT_LINT_PATHS if Path(p).exists()]
+        if not paths:
+            print("repro lint: no lintable paths found in cwd", file=sys.stderr)
+            return 2
+    findings = lint_paths(paths)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -254,6 +288,17 @@ def build_parser() -> argparse.ArgumentParser:
     overhead.add_argument("--chips", type=int, default=4)
     overhead.add_argument("--depth", type=int, default=4)
     overhead.set_defaults(func=cmd_overhead)
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint simulation-invariant checks"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src benchmarks examples tools)",
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

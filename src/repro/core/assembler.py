@@ -52,7 +52,7 @@ class SuperblockChoice:
 class OnDemandAssembler:
     """Reference-anchored similarity assembly over per-lane catalogs."""
 
-    def __init__(self, catalogs: Sequence[BlockCatalog], candidate_depth: int = 4):
+    def __init__(self, catalogs: Sequence[BlockCatalog], candidate_depth: int = 4) -> None:
         if len(catalogs) < 2:
             raise ValueError("need at least two lanes")
         lanes = [catalog.lane for catalog in catalogs]

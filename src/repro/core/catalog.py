@@ -20,7 +20,7 @@ class CatalogError(Exception):
 class BlockCatalog:
     """One lane's free blocks, sorted ascending by block program latency."""
 
-    def __init__(self, lane: int):
+    def __init__(self, lane: int) -> None:
         self.lane = lane
         self._list: SortedKeyList[BlockRecord] = SortedKeyList(
             key=lambda record: record.pgm_total_us

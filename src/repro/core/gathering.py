@@ -46,7 +46,7 @@ class GatheringUnit:
         self,
         geometry: NandGeometry,
         on_block_complete: Optional[Callable[[BlockRecord], None]] = None,
-    ):
+    ) -> None:
         self._geometry = geometry
         self._on_block_complete = on_block_complete
         self._open: Dict[Tuple[int, int, int], _OpenBlock] = {}

@@ -10,6 +10,7 @@ is the storage cost Equation 2 charges per block.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.utils.bitvec import BitVector
 
@@ -36,7 +37,7 @@ class BlockRecord:
         """Per-block footprint: latency integer + eigen bits (Equation 2)."""
         return PGM_LATENCY_BYTES + (len(self.eigen) + 7) // 8
 
-    def key(self):
+    def key(self) -> Tuple[int, int, int]:
         return (self.lane, self.plane, self.block)
 
     def __str__(self) -> str:

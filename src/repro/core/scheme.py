@@ -37,7 +37,7 @@ class QstrMedScheme:
         lanes: Sequence[int],
         candidate_depth: int = 4,
         placement: PlacementPolicy = DEFAULT_POLICY,
-    ):
+    ) -> None:
         if len(set(lanes)) != len(lanes):
             raise ValueError(f"duplicate lanes: {lanes}")
         self._geometry = geometry
@@ -162,7 +162,7 @@ class QstrMedAssembler(Assembler):
         self,
         candidate_depth: int = 4,
         demand: Optional[Iterable[SpeedClass]] = None,
-    ):
+    ) -> None:
         self.candidate_depth = candidate_depth
         self._demand = list(demand) if demand is not None else None
         self.name = f"qstr_med({candidate_depth})"

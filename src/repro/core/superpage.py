@@ -28,7 +28,7 @@ from repro.nand.geometry import NandGeometry
 class SuperpagePredictor:
     """Online per-lane LWL latency model with eigen-bit adjustment."""
 
-    def __init__(self, geometry: NandGeometry, lanes: Sequence[int]):
+    def __init__(self, geometry: NandGeometry, lanes: Sequence[int]) -> None:
         self._geometry = geometry
         lwls = geometry.lwls_per_block
         self._sum: Dict[int, np.ndarray] = {lane: np.zeros(lwls) for lane in lanes}

@@ -20,6 +20,7 @@ from repro.core.placement import DEFAULT_POLICY, PlacementPolicy
 from repro.core.records import BlockRecord
 from repro.core.scheme import QstrMedScheme
 from repro.nand.geometry import NandGeometry
+from repro.utils.rng import derive_seed
 
 
 class AllocationError(Exception):
@@ -29,7 +30,7 @@ class AllocationError(Exception):
 class BlockAllocator(ABC):
     """Interface the FTL uses to obtain and recycle physical blocks."""
 
-    def __init__(self, lanes: Sequence[int]):
+    def __init__(self, lanes: Sequence[int]) -> None:
         if len(set(lanes)) != len(lanes):
             raise ValueError(f"duplicate lanes: {lanes}")
         self.lanes = list(lanes)
@@ -86,7 +87,7 @@ class QstrAllocator(BlockAllocator):
         lanes: Sequence[int],
         candidate_depth: int = 4,
         placement: PlacementPolicy = DEFAULT_POLICY,
-    ):
+    ) -> None:
         super().__init__(lanes)
         self.scheme = QstrMedScheme(geometry, lanes, candidate_depth, placement)
 
@@ -132,12 +133,16 @@ class SimpleAllocator(BlockAllocator):
 
     STRATEGIES = ("random", "sequential", "pgm_sorted")
 
-    def __init__(self, lanes: Sequence[int], strategy: str = "random", seed: int = 0):
+    def __init__(
+        self, lanes: Sequence[int], strategy: str = "random", seed: int = 0
+    ) -> None:
         super().__init__(lanes)
         if strategy not in self.STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; pick from {self.STRATEGIES}")
         self.strategy = strategy
-        self._rng = np.random.default_rng(seed)
+        self._rng = np.random.default_rng(
+            derive_seed(seed, "ftl", "allocator", strategy)
+        )
         self._free: Dict[int, List[BlockRecord]] = {lane: [] for lane in lanes}
         self._in_use: Dict[Tuple[int, int, int], BlockRecord] = {}
 

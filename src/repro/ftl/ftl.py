@@ -24,7 +24,7 @@ from repro.ftl.allocator import AllocationError, BlockAllocator, make_allocator
 from repro.ftl.config import FtlConfig
 from repro.ftl.mapping import MappingError, PageMapper, PhysicalSlot
 from repro.ftl.metrics import FtlMetrics
-from repro.ftl.superblock import ManagedSuperblock, SuperblockTable
+from repro.ftl.superblock import ManagedSuperblock, SlotLocation, SuperblockTable
 from repro.ftl.wear_leveling import WearLeveler
 from repro.ftl.writebuffer import BufferedPage, WriteBuffer, WriteStream
 from repro.nand.chip import FlashChip
@@ -71,7 +71,7 @@ class Ftl:
         allocator_kind: str = "qstr",
         placement: PlacementPolicy = DEFAULT_POLICY,
         seed: int = 0,
-    ):
+    ) -> None:
         if len(chips) < 2:
             raise ValueError("need at least two chips (lanes)")
         self.geometry = chips[0].geometry
@@ -385,7 +385,9 @@ class Ftl:
         self.metrics.host_read_us.add(latency)
         return ReadResult(lpn=lpn, located=True, latency_us=latency)
 
-    def _read_physical(self, sb, slot, slot_index: int):
+    def _read_physical(
+        self, sb: ManagedSuperblock, slot: SlotLocation, slot_index: int
+    ) -> Tuple[object, float]:
         """Read one data page, reconstructing from parity if ECC gives up."""
         record = sb.members[slot.lane_index]
         chip = self.chips[record.lane]
@@ -399,7 +401,13 @@ class Ftl:
                 raise
             return self._reconstruct(sb, slot, slot_index, wasted_us=error.latency_us)
 
-    def _reconstruct(self, sb, slot, slot_index: int, wasted_us: float = 0.0):
+    def _reconstruct(
+        self,
+        sb: ManagedSuperblock,
+        slot: SlotLocation,
+        slot_index: int,
+        wasted_us: float = 0.0,
+    ) -> Tuple[object, float]:
         """RAID-4 degraded read: rebuild one lane's page from the parity row.
 
         Charges the failed attempt (``wasted_us``) plus the parity page and

@@ -27,7 +27,7 @@ class PhysicalSlot:
 class PageMapper:
     """L2P map plus reverse lookups and validity accounting."""
 
-    def __init__(self, logical_pages: int):
+    def __init__(self, logical_pages: int) -> None:
         if logical_pages < 1:
             raise ValueError("logical_pages must be >= 1")
         self.logical_pages = logical_pages

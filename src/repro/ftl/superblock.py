@@ -52,7 +52,7 @@ class ManagedSuperblock:
         members: Tuple[BlockRecord, ...],
         geometry: NandGeometry,
         parity: bool = False,
-    ):
+    ) -> None:
         if len(members) < 1:
             raise ValueError("superblock needs at least one member")
         if parity and len(members) < 2:
@@ -146,7 +146,7 @@ class ManagedSuperblock:
 class SuperblockTable:
     """Registry of live superblocks, open write points, and sealed sets."""
 
-    def __init__(self, geometry: NandGeometry):
+    def __init__(self, geometry: NandGeometry) -> None:
         self._geometry = geometry
         self._next_id = 0
         self._all: Dict[int, ManagedSuperblock] = {}

@@ -57,7 +57,7 @@ class WearLeveler:
         chips: Dict[int, FlashChip],
         usable: Sequence[Tuple[int, int, int]],
         config: WearLevelingConfig = WearLevelingConfig(),
-    ):
+    ) -> None:
         """``usable`` lists every managed (lane, plane, block)."""
         if not usable:
             raise ValueError("no usable blocks to level")

@@ -50,7 +50,7 @@ class BufferedPage:
 class WriteBuffer:
     """Per-stream FIFO of pages awaiting a full super word-line."""
 
-    def __init__(self, superwl_pages: int):
+    def __init__(self, superwl_pages: int) -> None:
         if superwl_pages < 1:
             raise ValueError("superwl_pages must be >= 1")
         self.superwl_pages = superwl_pages

@@ -1,0 +1,43 @@
+"""`reprolint`: AST-based simulation-invariant checks for this repository.
+
+The value of this reproduction rests on bit-for-bit deterministic latency
+modeling.  These checks turn the conventions that keep the simulation honest
+into machine-checked invariants:
+
+* **RNG discipline** — every stochastic draw flows through
+  :func:`repro.utils.rng.derive_seed`;
+* **determinism** — no wall-clock reads or unordered-set iteration in the
+  simulator's hot paths;
+* **layering** — the ``utils → nand → {characterization, assembly, core} →
+  ftl → ssd → {workloads, analysis, cli}`` import DAG never inverts;
+* **numeric hygiene** — no float-literal equality, no mutable default args;
+* **unit discipline** — all latencies stay in microseconds and conversions go
+  through :mod:`repro.utils.units`.
+
+Run it with ``repro lint`` (or ``python -m repro lint``); suppress a single
+finding with ``# reprolint: disable=CODE`` on the flagged line, or a whole
+file with ``# reprolint: disable-file=CODE`` — always with a comment saying
+why the exemption is sound.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintRunner, lint_paths, lint_source
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, RuleContext, all_rules, get_rule, register_rule
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintRunner",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

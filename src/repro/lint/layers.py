@@ -1,0 +1,98 @@
+"""The declarative import-layer map for the ``repro`` package.
+
+The simulator is layered as a DAG::
+
+    utils → nand → characterization → assembly → core → ftl → ssd
+                                                              → workloads
+                                                              → analysis
+                                                              → lint / cli
+
+Each entry in :data:`LAYER_DEPENDENCIES` names the subpackages a layer may
+import from (its own layer is always allowed).  ``characterization``,
+``assembly`` and ``core`` form one conceptual band above ``nand``; within the
+band the order is characterization < assembly < core, matching how signatures
+feed assemblers feed the placement core.
+
+:data:`LAYER_EXCEPTIONS` lists the few reviewed module-level edges that cross
+the map, each with a justification here rather than in the importing file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+#: subpackage -> subpackages it may import from (besides itself and stdlib).
+LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
+    "utils": frozenset(),
+    "nand": frozenset({"utils"}),
+    "characterization": frozenset({"nand", "utils"}),
+    "assembly": frozenset({"characterization", "nand", "utils"}),
+    "core": frozenset({"assembly", "characterization", "nand", "utils"}),
+    "ftl": frozenset({"core", "assembly", "characterization", "nand", "utils"}),
+    "ssd": frozenset({"ftl", "core", "assembly", "characterization", "nand", "utils"}),
+    "workloads": frozenset(
+        {"ssd", "ftl", "core", "assembly", "characterization", "nand", "utils"}
+    ),
+    "analysis": frozenset(
+        {
+            "workloads",
+            "ssd",
+            "ftl",
+            "core",
+            "assembly",
+            "characterization",
+            "nand",
+            "utils",
+        }
+    ),
+    "lint": frozenset({"utils"}),
+}
+
+#: top-level aggregator modules allowed to import from any layer.
+TOP_LEVEL_MODULES: FrozenSet[str] = frozenset(
+    {"repro", "repro.cli", "repro.__main__"}
+)
+
+#: (importing subpackage, imported dotted target below ``repro.``) pairs that
+#: are reviewed exceptions to the map:
+#:
+#: * ``ssd → workloads.model`` — the device consumes the pure ``Request`` /
+#:   ``OpKind`` data model (no behavior, no back-import at runtime; the
+#:   reverse edge in ``workloads.replay`` is ``TYPE_CHECKING``-only).
+LAYER_EXCEPTIONS: FrozenSet[Tuple[str, str]] = frozenset(
+    {("ssd", "workloads.model")}
+)
+
+
+def layer_of(module: str) -> str:
+    """The layer (subpackage) name of a ``repro.*`` dotted module, or ``""``.
+
+    ``repro`` itself and single-file top modules (``repro.cli``) map to
+    ``""`` meaning "top level".
+    """
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return ""
+    candidate = parts[1]
+    return candidate if candidate in LAYER_DEPENDENCIES else ""
+
+
+def is_allowed_import(importer_module: str, imported_module: str) -> bool:
+    """May ``importer_module`` import ``imported_module`` (both dotted)?"""
+    if importer_module in TOP_LEVEL_MODULES or layer_of(importer_module) == "":
+        return True
+    if not imported_module.startswith("repro"):
+        return True
+    importer_layer = layer_of(importer_module)
+    imported_layer = layer_of(imported_module)
+    if imported_layer == importer_layer:
+        return True
+    if imported_layer == "":
+        # Bare ``import repro`` or a top-level module (``repro.cli``) from
+        # inside a layer would invert the DAG (the aggregator imports every
+        # layer at init time).
+        return False
+    if imported_layer in LAYER_DEPENDENCIES[importer_layer]:
+        return True
+    target = imported_module.split(".", 1)[1] if "." in imported_module else ""
+    return (importer_layer, target) in LAYER_EXCEPTIONS

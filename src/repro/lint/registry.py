@@ -1,0 +1,119 @@
+"""Rule base class, per-file context, and the global rule registry."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may consult while checking one file."""
+
+    path: str
+    """Display path (relative to the lint root when possible)."""
+
+    module: str
+    """Dotted module name, e.g. ``repro.ftl.ftl`` or ``benchmarks.bench_x``."""
+
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=rule.code,
+            message=message,
+            severity=severity,
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``code``/``name``/``description`` and implement
+    :meth:`check`.  ``scope_prefixes`` restricts a rule to modules whose
+    dotted name starts with one of the prefixes (``None`` means every linted
+    file); ``exempt_modules`` lists exact modules the rule never applies to
+    (e.g. the one module allowed to own raw RNG construction).
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    scope_prefixes: Optional[Tuple[str, ...]] = None
+    exempt_modules: Tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        if module in self.exempt_modules:
+            return False
+        if self.scope_prefixes is None:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.scope_prefixes
+        )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- shared AST helpers -------------------------------------------------
+
+    @staticmethod
+    def dotted_name(node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    import repro.lint.rules  # noqa: F401  (registers the built-in rules)
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    import repro.lint.rules  # noqa: F401
+
+    try:
+        return _REGISTRY[code]()
+    except KeyError:
+        raise KeyError(f"unknown rule code {code!r}") from None
+
+
+def known_codes() -> List[str]:
+    import repro.lint.rules  # noqa: F401
+
+    return sorted(_REGISTRY)

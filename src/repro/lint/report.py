@@ -1,0 +1,30 @@
+"""Human and machine rendering of lint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.findings import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding plus a summary."""
+    lines: List[str] = [
+        f"{f.location()}: {f.code} [{f.severity}] {f.message}" for f in findings
+    ]
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(f"reprolint: {len(findings)} {noun}")
+    else:
+        lines.append("reprolint: clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document: ``{"count": N, "findings": [...]}``."""
+    payload = {
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,7 @@
+"""Built-in rule families; importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.lint.rules import determinism, layering, numeric, rng, units
+
+__all__ = ["determinism", "layering", "numeric", "rng", "units"]

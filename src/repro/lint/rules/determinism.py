@@ -1,0 +1,123 @@
+"""Determinism: no wall-clock reads or unordered iteration in the simulator.
+
+Simulated time is advanced explicitly by the timing model
+(:mod:`repro.ssd.timing`); any read of host wall-clock time inside
+``repro.*`` couples results to the machine running them.  Likewise, iterating
+a ``set`` directly leaks hash-order into block placement decisions — wrap it
+in ``sorted(...)`` to fix the order.  Both rules are scoped to the simulator
+package: benchmarks and tools may legitimately measure wall time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, RuleContext, register_rule
+from repro.lint.rules.common import walk_runtime
+
+#: attribute chains whose *use* reads ambient entropy or wall-clock time.
+_BANNED_DOTTED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+    }
+)
+
+#: names that, imported bare from their module, are equally banned.
+_BANNED_FROM_IMPORTS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "perf_counter"),
+        ("os", "urandom"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid4"),
+    }
+)
+
+
+@register_rule
+class WallClockRead(Rule):
+    code = "DET001"
+    name = "wall-clock-read"
+    description = (
+        "simulated time is advanced by the timing model; wall-clock/entropy "
+        "reads (time.time, datetime.now, os.urandom, …) make runs machine-"
+        "dependent"
+    )
+    scope_prefixes = ("repro",)
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                dotted = self.dotted_name(node)
+                if dotted is None:
+                    continue
+                tail = ".".join(dotted.split(".")[-2:])
+                if dotted in _BANNED_DOTTED or tail in _BANNED_DOTTED:
+                    yield ctx.finding(
+                        self, node, f"use of '{dotted}' — " + self.description
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = node.module or ""
+                for alias in node.names:
+                    if (module, alias.name) in _BANNED_FROM_IMPORTS:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"import of '{module}.{alias.name}' — "
+                            + self.description,
+                        )
+
+
+@register_rule
+class UnorderedSetIteration(Rule):
+    code = "DET002"
+    name = "unordered-set-iteration"
+    description = (
+        "iterating a set leaks hash-order into simulation decisions; wrap it "
+        "in sorted(...) to pin the order"
+    )
+    scope_prefixes = ("repro",)
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in walk_runtime(ctx.tree):
+            iterable: Optional[ast.expr] = None
+            if isinstance(node, ast.For):
+                iterable = node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterable = node.generators[0].iter
+            if iterable is None:
+                continue
+            if self._is_bare_set(iterable):
+                yield ctx.finding(
+                    self,
+                    iterable,
+                    "direct iteration over a set — " + self.description,
+                )
+
+    @staticmethod
+    def _is_bare_set(node: ast.expr) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.Call):
+            callee = Rule.dotted_name(node.func)
+            return callee in ("set", "frozenset")
+        return False

@@ -1,0 +1,144 @@
+"""Unit discipline: all latencies are microseconds, conversions go through
+:mod:`repro.utils.units`.
+
+The paper reports tPROG/tBERS in µs; the whole simulator keeps that unit.
+Mixing in ``*_ms``/``*_ns`` parameters, hand-rolled ``x * 1000`` conversions,
+or anonymous six-digit latency literals is how unit bugs sneak past review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, RuleContext, register_rule
+
+#: the module that owns conversion constants/helpers — exempt from all three.
+_UNITS_HOME = ("repro.utils.units",)
+
+_FOREIGN_SUFFIXES = ("_ns", "_ms", "_sec")
+
+_CONVERSION_LITERALS = frozenset({1000, 1000.0, 1_000_000, 1_000_000.0})
+
+#: a latency kwarg literal at or above this is a "magic number" — name it.
+_MAGIC_LATENCY_THRESHOLD = 100_000.0
+
+
+def _is_unitish_name(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    leaf = name.split(".")[-1].lower()
+    if leaf in ("us", "ms"):
+        return True
+    if leaf.endswith(("_us", "_ms", "_sec")):
+        return True
+    return "latency" in leaf or "interarrival" in leaf
+
+
+@register_rule
+class ForeignUnitSuffix(Rule):
+    code = "UNIT001"
+    name = "foreign-unit-suffix"
+    description = (
+        "simulator latencies are microseconds; a *_ns/*_ms/*_sec parameter "
+        "invites unit mixing — convert at the boundary with repro.utils.units "
+        "and keep the parameter in _us"
+    )
+    exempt_modules = _UNITS_HOME
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg is not None and kw.arg.endswith(_FOREIGN_SUFFIXES):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"keyword '{kw.arg}' uses a non-µs unit suffix — "
+                            + self.description,
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = [
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                ]
+                for arg in args:
+                    if arg.arg.endswith(_FOREIGN_SUFFIXES):
+                        yield ctx.finding(
+                            self,
+                            arg,
+                            f"parameter '{arg.arg}' uses a non-µs unit suffix — "
+                            + self.description,
+                        )
+
+
+@register_rule
+class MagicUnitConversion(Rule):
+    code = "UNIT002"
+    name = "magic-unit-conversion"
+    description = (
+        "hand-rolled */1000-style unit conversion; use repro.utils.units "
+        "(US_PER_MS, us_to_ms, ms_to_us, …) so the factor is named and "
+        "auditable"
+    )
+    exempt_modules = _UNITS_HOME
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Mult, ast.Div)):
+                continue
+            for literal, other in (
+                (node.left, node.right),
+                (node.right, node.left),
+            ):
+                if (
+                    isinstance(literal, ast.Constant)
+                    and not isinstance(literal.value, bool)
+                    and isinstance(literal.value, (int, float))
+                    and literal.value in _CONVERSION_LITERALS
+                    and _is_unitish_name(self.dotted_name(other))
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"unit conversion by bare literal {literal.value!r} — "
+                        + self.description,
+                    )
+                    break
+
+
+@register_rule
+class MagicLatencyLiteral(Rule):
+    code = "UNIT003"
+    name = "magic-latency-literal"
+    description = (
+        "large anonymous latency literal passed to a *_us parameter; bind it "
+        "to a named constant or derive it via repro.utils.units so the unit "
+        "and provenance are explicit"
+    )
+    exempt_modules = _UNITS_HOME
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg is None or not kw.arg.endswith("_us"):
+                    continue
+                value = kw.value
+                if (
+                    isinstance(value, ast.Constant)
+                    and not isinstance(value.value, bool)
+                    and isinstance(value.value, (int, float))
+                    and abs(float(value.value)) >= _MAGIC_LATENCY_THRESHOLD
+                ):
+                    yield ctx.finding(
+                        self,
+                        value,
+                        f"literal {value.value!r} passed as '{kw.arg}' — "
+                        + self.description,
+                    )

@@ -71,7 +71,7 @@ class FlashChip:
         geometry: NandGeometry,
         ecc: Optional[EccEngine] = None,
         read_seed: int = 0,
-    ):
+    ) -> None:
         self._profile = profile
         self._geometry = geometry
         self._blocks: Dict[Tuple[int, int], _BlockState] = {}

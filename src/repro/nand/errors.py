@@ -48,7 +48,7 @@ class UncorrectableReadError(FlashError):
     so recovery paths can account for it.
     """
 
-    def __init__(self, message: str, latency_us: float = 0.0):
+    def __init__(self, message: str, latency_us: float = 0.0) -> None:
         super().__init__(message)
         self.latency_us = latency_us
 

@@ -31,7 +31,7 @@ class PackageSpec:
 class FlashPackage:
     """A NAND package: several dies sharing a channel, selected by CE."""
 
-    def __init__(self, spec: PackageSpec, dies: Sequence[FlashChip]):
+    def __init__(self, spec: PackageSpec, dies: Sequence[FlashChip]) -> None:
         if len(dies) != spec.dies:
             raise ValueError(f"{spec.name}: expected {spec.dies} dies, got {len(dies)}")
         self.spec = spec

@@ -114,7 +114,7 @@ class ReadCorrection:
 class EccEngine:
     """Samples raw errors per codeword and applies correction + retries."""
 
-    def __init__(self, config: EccConfig, geometry: NandGeometry):
+    def __init__(self, config: EccConfig, geometry: NandGeometry) -> None:
         self.config = config
         self.geometry = geometry
         self._codewords = config.codewords_per_page(geometry)

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
@@ -154,7 +154,7 @@ def _smooth_noise(rng: np.random.Generator, length: int, sigma: float, smooth: f
     return np.convolve(raw, kernel, mode="valid") * sigma
 
 
-def _quantize(values, step: float):
+def _quantize(values: Union[float, "np.ndarray"], step: float) -> "np.ndarray":
     """Snap to the physical pulse/loop quantum."""
     return np.round(np.asarray(values, dtype=float) / step) * step
 
@@ -162,7 +162,7 @@ def _quantize(values, step: float):
 class SharedWaferField:
     """Wafer/lot-level structure shared by every chip of a model instance."""
 
-    def __init__(self, geometry: NandGeometry, params: VariationParams, rng_factory: RngFactory):
+    def __init__(self, geometry: NandGeometry, params: VariationParams, rng_factory: RngFactory) -> None:
         self._geometry = geometry
         self._params = params
         layers = geometry.layers_per_block
@@ -243,7 +243,7 @@ class ChipVariationProfile:
         params: VariationParams,
         shared: SharedWaferField,
         rng_factory: RngFactory,
-    ):
+    ) -> None:
         self.chip_id = chip_id
         self._geometry = geometry
         self._params = params
@@ -526,7 +526,7 @@ class VariationModel:
         geometry: NandGeometry,
         params: VariationParams = None,
         seed: int = 2024,
-    ):
+    ) -> None:
         self.geometry = geometry
         self.params = params if params is not None else VariationParams()
         self.seed = seed

@@ -62,7 +62,7 @@ class Ssd:
         ftl: Ftl,
         timing: TimingConfig = TimingConfig(),
         lane_channel_map: Optional[Dict[int, int]] = None,
-    ):
+    ) -> None:
         self.ftl = ftl
         self.timing = timing
         if lane_channel_map is None:

@@ -50,7 +50,7 @@ def default_lane_channel_map(lanes: Sequence[int], channels: int) -> Dict[int, i
 class ResourceClock:
     """Busy-until bookkeeping for one shared resource (a channel, a die)."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.busy_until_us = 0.0
         self.busy_time_us = 0.0

@@ -22,7 +22,7 @@ class BitVector:
 
     __slots__ = ("_value", "_length")
 
-    def __init__(self, bits: Iterable[int] = (), *, length: int = None, value: int = None):
+    def __init__(self, bits: Iterable[int] = (), *, length: int = None, value: int = None) -> None:
         if value is not None:
             if length is None:
                 raise ValueError("length is required when constructing from a raw value")

@@ -31,7 +31,7 @@ def derive_seed(root_seed: int, *path: SeedPart) -> int:
 class RngFactory:
     """Factory producing independent, reproducible generators by label path."""
 
-    def __init__(self, root_seed: int):
+    def __init__(self, root_seed: int) -> None:
         self._root_seed = int(root_seed)
 
     @property

@@ -10,7 +10,18 @@ entries): O(log n) search, O(n) insert/remove with tiny constants.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    TypeVar,
+    Union,
+    overload,
+)
 
 T = TypeVar("T")
 
@@ -18,7 +29,7 @@ T = TypeVar("T")
 class SortedKeyList(Generic[T]):
     """Mutable list kept sorted by ``key(item)``; ties keep insertion order."""
 
-    def __init__(self, items: Iterable[T] = (), *, key: Callable[[T], Any]):
+    def __init__(self, items: Iterable[T] = (), *, key: Callable[[T], Any]) -> None:
         self._key = key
         self._items: List[T] = sorted(items, key=key)
         self._keys: List[Any] = [key(item) for item in self._items]
@@ -71,7 +82,13 @@ class SortedKeyList(Generic[T]):
     def __iter__(self) -> Iterator[T]:
         return iter(self._items)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> T: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[T]: ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[T, List[T]]:
         return self._items[index]
 
     def __contains__(self, item: T) -> bool:

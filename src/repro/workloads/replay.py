@@ -50,7 +50,7 @@ class ReplayReport:
 class Replayer:
     """Feeds a request stream to an SSD and collects the report."""
 
-    def __init__(self, ssd: "Ssd", clamp: bool = True):
+    def __init__(self, ssd: "Ssd", clamp: bool = True) -> None:
         self.ssd = ssd
         self.clamp = clamp
 

@@ -1,5 +1,8 @@
 """CLI tests (small scales so the suite stays fast)."""
 
+import json
+import textwrap
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -82,3 +85,73 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "WRITE" in out
+
+
+#: one seeded violation per rule family (file name -> (source, expected
+#: code)), written as files under src/repro so the scoped rules apply.
+VIOLATION_FIXTURES = {
+    "rng.py": ("import numpy as np\nr = np.random.default_rng(7)\n", "RNG003"),
+    "det.py": ("import time\nt = time.time()\n", "DET001"),
+    "lay.py": ("from repro.ftl.ftl import Ftl\n", "LAY001"),
+    "num.py": ("def f(items=[]):\n    return items\n", "NUM002"),
+    "unit.py": ("def f(delay_ms: int) -> None:\n    pass\n", "UNIT001"),
+}
+
+
+def _seeded_tree(tmp_path, name, source):
+    """A minimal src/repro/<pkg>/ tree holding one violating file."""
+    pkg = {"lay.py": "nand"}.get(name, "ftl")
+    target = tmp_path / "src" / "repro" / pkg
+    target.mkdir(parents=True)
+    path = target / name
+    path.write_text(source)
+    return path
+
+
+class TestLintCommand:
+    def test_lint_clean_repo_exits_zero(self, capsys):
+        assert main(["lint", "src", "benchmarks", "examples", "tools"]) == 0
+        out = capsys.readouterr().out
+        assert "reprolint: clean" in out
+
+    def test_lint_default_paths_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "reprolint: clean" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name", sorted(VIOLATION_FIXTURES))
+    def test_lint_flags_each_rule_family(self, capsys, tmp_path, name):
+        source, expected_code = VIOLATION_FIXTURES[name]
+        path = _seeded_tree(tmp_path, name, source)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert expected_code in out
+        assert name in out
+
+    def test_lint_json_format(self, capsys, tmp_path):
+        path = _seeded_tree(tmp_path, "rng.py", VIOLATION_FIXTURES["rng.py"][0])
+        assert main(["lint", str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["code"] == "RNG003"
+
+    def test_lint_suppression_honored(self, capsys, tmp_path):
+        source = textwrap.dedent(
+            """\
+            import numpy as np
+
+            # Fixture: pinned stream for a test double.
+            r = np.random.default_rng(7)  # reprolint: disable=RNG003
+            """
+        )
+        path = _seeded_tree(tmp_path, "rng.py", source)
+        assert main(["lint", str(path)]) == 0
+        assert "reprolint: clean" in capsys.readouterr().out
+
+    def test_lint_missing_paths_exit_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint"]) == 2
+        assert "no lintable paths" in capsys.readouterr().err
+
+    def test_lint_nonexistent_path_exits_two(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+        assert "no such path" in capsys.readouterr().err

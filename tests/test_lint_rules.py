@@ -1,0 +1,317 @@
+"""Per-rule unit tests: every rule fires on its positive fixture and stays
+quiet on the negative one, and suppression comments work at line and file
+scope."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List
+
+import pytest
+
+from repro.lint import Finding, all_rules, get_rule, lint_source
+from repro.lint.engine import module_name_for
+from repro.lint.layers import is_allowed_import, layer_of
+from repro.lint.suppressions import parse_suppressions
+
+
+def codes(findings: List[Finding]) -> List[str]:
+    return [f.code for f in findings]
+
+
+def run(source: str, module: str = "repro.ftl.ftl") -> List[Finding]:
+    return lint_source(textwrap.dedent(source), path="fixture.py", module=module)
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_has_all_rule_families() -> None:
+    registered = {rule.code for rule in all_rules()}
+    assert {
+        "RNG001",
+        "RNG002",
+        "RNG003",
+        "DET001",
+        "DET002",
+        "LAY001",
+        "NUM001",
+        "NUM002",
+        "UNIT001",
+        "UNIT002",
+        "UNIT003",
+    } <= registered
+
+
+def test_get_rule_unknown_code_raises() -> None:
+    with pytest.raises(KeyError):
+        get_rule("NOPE999")
+
+
+# ---------------------------------------------------------------- RNG001
+
+
+def test_rng001_flags_stdlib_random_import() -> None:
+    assert "RNG001" in codes(run("import random\n"))
+    assert "RNG001" in codes(run("from random import shuffle\n"))
+
+
+def test_rng001_clean_on_numpy_and_rng_home() -> None:
+    assert "RNG001" not in codes(run("import numpy as np\n"))
+    # the RNG home module itself is exempt
+    assert "RNG001" not in codes(
+        lint_source("import random\n", module="repro.utils.rng")
+    )
+
+
+# ---------------------------------------------------------------- RNG002
+
+
+def test_rng002_flags_legacy_global_numpy_api() -> None:
+    assert "RNG002" in codes(run("import numpy as np\nnp.random.seed(3)\n"))
+    assert "RNG002" in codes(run("import numpy as np\nx = np.random.rand(4)\n"))
+
+
+def test_rng002_allows_default_rng_and_generator_classes() -> None:
+    clean = """
+        import numpy as np
+        from repro.utils.rng import derive_seed
+        rng = np.random.default_rng(derive_seed(1, "x"))
+        gen = np.random.Generator
+    """
+    assert "RNG002" not in codes(run(clean))
+
+
+# ---------------------------------------------------------------- RNG003
+
+
+def test_rng003_flags_underived_seeds() -> None:
+    assert "RNG003" in codes(run("import numpy as np\nr = np.random.default_rng(7)\n"))
+    assert "RNG003" in codes(run("import numpy as np\nr = np.random.default_rng()\n"))
+    assert "RNG003" in codes(
+        run("from numpy.random import default_rng\nr = default_rng((1, 2))\n")
+    )
+
+
+def test_rng003_allows_derive_seed() -> None:
+    clean = """
+        import numpy as np
+        from repro.utils.rng import derive_seed
+        r = np.random.default_rng(derive_seed(7, "chip", 3))
+    """
+    assert "RNG003" not in codes(run(clean))
+
+
+# ---------------------------------------------------------------- DET001
+
+
+def test_det001_flags_wall_clock_in_simulator() -> None:
+    assert "DET001" in codes(run("import time\nt = time.time()\n"))
+    assert "DET001" in codes(
+        run("from datetime import datetime\nd = datetime.now()\n")
+    )
+    assert "DET001" in codes(run("import os\nb = os.urandom(8)\n"))
+    assert "DET001" in codes(run("from time import time\n"))
+
+
+def test_det001_scoped_to_repro_package() -> None:
+    # tools/ and benchmarks/ may measure wall time.
+    assert "DET001" not in codes(
+        lint_source("import time\nt = time.time()\n", module="tools.report")
+    )
+
+
+# ---------------------------------------------------------------- DET002
+
+
+def test_det002_flags_bare_set_iteration() -> None:
+    assert "DET002" in codes(run("for x in {1, 2, 3}:\n    pass\n"))
+    assert "DET002" in codes(run("vals = [x for x in set(items)]\n"))
+
+
+def test_det002_allows_sorted_sets() -> None:
+    assert "DET002" not in codes(run("for x in sorted({1, 2, 3}):\n    pass\n"))
+    assert "DET002" not in codes(run("for x in sorted(set(items)):\n    pass\n"))
+
+
+# ---------------------------------------------------------------- LAY001
+
+
+def test_lay001_flags_inverted_edge() -> None:
+    findings = lint_source(
+        "from repro.ftl.ftl import Ftl\n", module="repro.nand.chip"
+    )
+    assert "LAY001" in codes(findings)
+
+
+def test_lay001_allows_downward_edge_and_exceptions() -> None:
+    assert "LAY001" not in codes(
+        lint_source("from repro.nand.chip import FlashChip\n", module="repro.ftl.ftl")
+    )
+    # the reviewed data-model exception
+    assert "LAY001" not in codes(
+        lint_source(
+            "from repro.workloads.model import Request\n", module="repro.ssd.device"
+        )
+    )
+    # but the rest of workloads stays off-limits to ssd
+    assert "LAY001" in codes(
+        lint_source(
+            "from repro.workloads.replay import Replayer\n", module="repro.ssd.device"
+        )
+    )
+
+
+def test_lay001_type_checking_imports_exempt() -> None:
+    source = """
+        from typing import TYPE_CHECKING
+        if TYPE_CHECKING:
+            from repro.ssd.device import Ssd
+    """
+    assert "LAY001" not in codes(
+        lint_source(textwrap.dedent(source), module="repro.workloads.replay")
+    )
+
+
+def test_layer_map_helpers() -> None:
+    assert layer_of("repro.ftl.ftl") == "ftl"
+    assert layer_of("repro.cli") == ""
+    assert is_allowed_import("repro.cli", "repro.ssd.device")
+    assert not is_allowed_import("repro.utils.stats", "repro.nand.chip")
+
+
+# ---------------------------------------------------------------- NUM001
+
+
+def test_num001_flags_float_literal_equality() -> None:
+    assert "NUM001" in codes(run("ok = latency == 1.5\n"))
+    assert "NUM001" in codes(run("ok = 0.0 != latency\n"))
+
+
+def test_num001_allows_int_compare_and_inequalities() -> None:
+    assert "NUM001" not in codes(run("ok = count == 0\n"))
+    assert "NUM001" not in codes(run("ok = latency < 1.5\n"))
+
+
+# ---------------------------------------------------------------- NUM002
+
+
+def test_num002_flags_mutable_defaults() -> None:
+    assert "NUM002" in codes(run("def f(items=[]):\n    return items\n"))
+    assert "NUM002" in codes(run("def f(*, cache={}):\n    return cache\n"))
+
+
+def test_num002_allows_none_and_tuples() -> None:
+    assert "NUM002" not in codes(run("def f(items=None, shape=(1, 2)):\n    pass\n"))
+
+
+# ---------------------------------------------------------------- UNIT001
+
+
+def test_unit001_flags_foreign_unit_suffixes() -> None:
+    assert "UNIT001" in codes(run("configure(timeout_ms=5)\n"))
+    assert "UNIT001" in codes(run("def f(delay_ns: int) -> None:\n    pass\n"))
+
+
+def test_unit001_allows_us_suffix() -> None:
+    assert "UNIT001" not in codes(run("configure(latency_us=5.0)\n"))
+
+
+# ---------------------------------------------------------------- UNIT002
+
+
+def test_unit002_flags_magic_conversion() -> None:
+    assert "UNIT002" in codes(run("ms = latency_us / 1000.0\n"))
+    assert "UNIT002" in codes(run("total_us = 1000 * delay_ms\n"))
+
+
+def test_unit002_allows_named_constants() -> None:
+    clean = """
+        from repro.utils.units import US_PER_MS
+        ms = latency_us / US_PER_MS
+    """
+    assert "UNIT002" not in codes(run(clean))
+    # a bare numeric context is not a unit conversion
+    assert "UNIT002" not in codes(run("scaled = count * 1000\n"))
+
+
+# ---------------------------------------------------------------- UNIT003
+
+
+def test_unit003_flags_large_latency_literal() -> None:
+    assert "UNIT003" in codes(run("wait(delay_us=2_000_000)\n"))
+
+
+def test_unit003_allows_small_or_named_values() -> None:
+    assert "UNIT003" not in codes(run("wait(delay_us=8000.0)\n"))
+    assert "UNIT003" not in codes(run("wait(delay_us=TBERS_US)\n"))
+
+
+# ------------------------------------------------------------ suppressions
+
+
+def test_line_suppression_silences_only_that_line() -> None:
+    source = (
+        "import numpy as np\n"
+        "a = np.random.default_rng(1)  # reprolint: disable=RNG003\n"
+        "b = np.random.default_rng(2)\n"
+    )
+    findings = lint_source(source, module="repro.ftl.ftl")
+    assert codes(findings).count("RNG003") == 1
+    assert findings[0].line == 3
+
+
+def test_file_suppression_silences_whole_file() -> None:
+    source = (
+        "# reprolint: disable-file=RNG003\n"
+        "import numpy as np\n"
+        "a = np.random.default_rng(1)\n"
+        "b = np.random.default_rng(2)\n"
+    )
+    assert "RNG003" not in codes(lint_source(source, module="repro.ftl.ftl"))
+
+
+def test_suppression_is_code_specific() -> None:
+    source = "import random  # reprolint: disable=DET001\n"
+    assert "RNG001" in codes(lint_source(source, module="repro.ftl.ftl"))
+
+
+def test_parse_suppressions_multiple_codes() -> None:
+    index = parse_suppressions("x = 1  # reprolint: disable=RNG001, NUM001\n")
+    assert index.line_codes[1] == frozenset({"RNG001", "NUM001"})
+
+
+# ---------------------------------------------------------------- engine
+
+
+def test_module_name_for_src_layout(tmp_path) -> None:
+    from pathlib import Path
+
+    assert (
+        module_name_for(Path("src/repro/ftl/ftl.py")) == "repro.ftl.ftl"
+    )
+    assert module_name_for(Path("src/repro/ftl/__init__.py")) == "repro.ftl"
+    assert (
+        module_name_for(Path("benchmarks/bench_x.py"), root=Path("."))
+        == "benchmarks.bench_x"
+    )
+
+
+def test_syntax_error_reported_as_parse_finding() -> None:
+    findings = lint_source("def broken(:\n", module="repro.ftl.ftl")
+    assert codes(findings) == ["PARSE"]
+
+
+def test_findings_sorted_and_json_roundtrip() -> None:
+    import json
+
+    from repro.lint import render_json, render_text
+
+    source = "import random\nimport numpy as np\nr = np.random.default_rng(3)\n"
+    findings = lint_source(source, module="repro.ftl.ftl")
+    assert findings == sorted(findings)
+    payload = json.loads(render_json(findings))
+    assert payload["count"] == len(findings) >= 2
+    assert payload["findings"][0]["code"]
+    text = render_text(findings)
+    assert "reprolint:" in text and "RNG001" in text
