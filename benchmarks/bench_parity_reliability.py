@@ -17,6 +17,7 @@ from repro.nand import (
     VariationModel,
     VariationParams,
 )
+from repro.obs import export_bench_artifacts
 
 DEAD_PE = 15_000
 BLOCKS = 12
@@ -89,3 +90,16 @@ def test_parity_reliability(benchmark):
     assert 0.15 < reconstructed / reads < 0.4
     # Degraded reads are visibly slower than the clean ones.
     assert np.max(latencies) > np.median(latencies) * 2
+
+    export_bench_artifacts(
+        "bench_parity_reliability",
+        {
+            "logical_pages_parity_on": ftl.logical_pages,
+            "logical_pages_parity_off": plain.logical_pages,
+            "reads_served": reads,
+            "row_reconstructions": reconstructed,
+            "reconstruction_ratio": reconstructed / reads,
+            "read_mean_us": float(np.mean(latencies)),
+            "read_max_us": float(np.max(latencies)),
+        },
+    )

@@ -10,6 +10,7 @@ only sketches — our SSD substrate lets us run it.
 from repro.analysis import render_table
 from repro.ftl import Ftl, FtlConfig
 from repro.nand import FlashChip, NandGeometry, VariationModel, VariationParams
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer, export_bench_artifacts
 from repro.ssd import Ssd, TimingConfig
 from repro.workloads import ArrivalProcess, Replayer, sequential_fill, zipf_writes
 
@@ -24,7 +25,7 @@ BENCH_GEOMETRY = NandGeometry(
 )
 
 
-def run_ftl(kind: str):
+def run_ftl(kind: str, tracer=None, registry=None):
     model = VariationModel(
         BENCH_GEOMETRY, VariationParams(factory_bad_ratio=0.0), seed=777
     )
@@ -38,6 +39,8 @@ def run_ftl(kind: str):
             gc_high_watermark=5,
         ),
         allocator_kind=kind,
+        tracer=NULL_TRACER if tracer is None else tracer,
+        registry=registry,
     )
     ftl.format()
     ssd = Ssd(ftl, TimingConfig())
@@ -59,8 +62,12 @@ def run_ftl(kind: str):
 
 
 def test_placement_endtoend(benchmark):
+    # The QSTR run carries a live tracer + registry: observation is
+    # RNG-neutral, so the comparison against the untraced random run holds.
+    tracer = Tracer()
+    registry = MetricsRegistry()
     qstr_ftl, qstr_report = benchmark.pedantic(
-        lambda: run_ftl("qstr"), rounds=1, iterations=1
+        lambda: run_ftl("qstr", tracer, registry), rounds=1, iterations=1
     )
     random_ftl, random_report = run_ftl("random")
 
@@ -71,6 +78,7 @@ def test_placement_endtoend(benchmark):
             f"{m.extra_program_us.mean:,.1f}",
             f"{m.extra_erase_us.mean:,.1f}" if m.extra_erase_us.count else "-",
             f"{report.mean_write_us():,.1f}",
+            f"{report.p99_write_us():,.1f}",
             f"{m.write_amplification:.2f}",
             f"{m.gc_runs:.0f}",
         ]
@@ -78,13 +86,27 @@ def test_placement_endtoend(benchmark):
     print()
     print(
         render_table(
-            ["Allocator", "extra PGM/op us", "extra ERS us", "host write us", "WAF", "GC runs"],
+            ["Allocator", "extra PGM/op us", "extra ERS us", "host write us",
+             "p99 write us", "WAF", "GC runs"],
             [
                 row("QSTR-MED", qstr_ftl, qstr_report),
                 row("random", random_ftl, random_report),
             ],
         )
     )
+
+    summary = {
+        "qstr_extra_program_mean_us": qstr_ftl.metrics.extra_program_us.mean,
+        "qstr_extra_program_p99_us": qstr_ftl.metrics.extra_program_us.p99,
+        "qstr_host_write_mean_us": qstr_report.mean_write_us(),
+        "qstr_host_write_p99_us": qstr_report.p99_write_us(),
+        "qstr_write_amplification": qstr_ftl.metrics.write_amplification,
+        "qstr_gc_runs": qstr_ftl.metrics.gc_runs,
+        "random_extra_program_mean_us": random_ftl.metrics.extra_program_us.mean,
+        "random_host_write_p99_us": random_report.p99_write_us(),
+        "random_write_amplification": random_ftl.metrics.write_amplification,
+    }
+    export_bench_artifacts("bench_placement_endtoend", summary, tracer=tracer)
 
     # The PV-aware allocator forms superblocks with materially less extra
     # program latency under the same workload.

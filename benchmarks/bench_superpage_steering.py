@@ -12,6 +12,7 @@ from repro.analysis import render_table
 from repro.core import WriteIntent, WriteSource
 from repro.ftl import Ftl, FtlConfig, WriteStream
 from repro.nand import FlashChip, NandGeometry, VariationModel, VariationParams
+from repro.obs import export_bench_artifacts
 from repro.utils.rng import derive_seed
 
 GEOM = NandGeometry(
@@ -72,3 +73,16 @@ def test_superpage_steering(benchmark):
     assert express.mean < bulk.mean
     # The predictor actually learned (it saw the burn-in plus runtime data).
     assert ftl.predictor is not None and ftl.predictor.observations > 10_000
+
+    export_bench_artifacts(
+        "bench_superpage_steering",
+        {
+            "express_programs": express.count,
+            "express_mean_us": express.mean,
+            "express_p99_us": express.p99,
+            "bulk_programs": bulk.count,
+            "bulk_mean_us": bulk.mean,
+            "bulk_p99_us": bulk.p99,
+            "express_gain_pct": gain,
+        },
+    )

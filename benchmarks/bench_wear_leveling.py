@@ -11,6 +11,7 @@ import numpy as np
 from repro.analysis import render_table
 from repro.ftl import Ftl, FtlConfig, WearLevelingConfig
 from repro.nand import SMALL_GEOMETRY, FlashChip, VariationModel, VariationParams
+from repro.obs import export_bench_artifacts
 from repro.utils.rng import derive_seed
 
 
@@ -85,4 +86,17 @@ def test_wear_leveling(benchmark):
     assert (
         leveled_ftl.metrics.write_amplification
         < plain_ftl.metrics.write_amplification * 1.5
+    )
+
+    export_bench_artifacts(
+        "bench_wear_leveling",
+        {
+            "plain_pe_gap": plain_gap,
+            "plain_pe_stdev": plain_std,
+            "plain_write_amplification": plain_ftl.metrics.write_amplification,
+            "leveled_pe_gap": lev_gap,
+            "leveled_pe_stdev": lev_std,
+            "leveled_write_amplification": leveled_ftl.metrics.write_amplification,
+            "rotations_triggered": leveled_ftl.wear_leveler.rotations_triggered,
+        },
     )

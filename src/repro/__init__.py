@@ -79,6 +79,14 @@ from repro.nand import (
     build_paper_testbed,
     testbed_chips,
 )
+from repro.obs import (
+    NULL_TRACER,
+    LatencyHistogram,
+    LatencyStat,
+    MetricsRegistry,
+    Tracer,
+    TraceSummary,
+)
 from repro.ssd import Ssd, TimingConfig
 from repro.workloads import (
     OpKind,
@@ -150,6 +158,13 @@ __all__ = [
     "FtlConfig",
     "Ssd",
     "TimingConfig",
+    # obs
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "LatencyHistogram",
+    "LatencyStat",
+    "TraceSummary",
     # workloads
     "Request",
     "OpKind",

@@ -7,6 +7,9 @@ experiments without writing code:
 * ``repro figures`` — print the sparkline versions of Figures 5/6/13/14;
 * ``repro replay``  — run a trace (file or synthetic) through the simulated
   SSD with a chosen allocator and print the latency report;
+* ``repro run``     — a traced run: same stack with the deterministic tracer
+  attached, exporting Chrome/JSONL traces and a metrics summary;
+* ``repro obs report`` — summarize a recorded JSONL event log;
 * ``repro overhead`` — the computing/space overhead numbers of Section VI;
 * ``repro lint``    — run the ``reprolint`` simulation-invariant checks.
 """
@@ -132,17 +135,12 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_replay(args: argparse.Namespace) -> int:
+def _build_ssd(args: argparse.Namespace, tracer=None, registry=None):
+    """Build the simulated SSD stack ``replay``/``run`` share."""
     from repro.ftl import Ftl, FtlConfig
     from repro.nand import FlashChip, NandGeometry, VariationModel, VariationParams
+    from repro.obs import NULL_TRACER
     from repro.ssd import Ssd, TimingConfig
-    from repro.workloads import (
-        ArrivalProcess,
-        Replayer,
-        load_trace,
-        sequential_fill,
-        zipf_writes,
-    )
 
     geometry = NandGeometry(
         planes_per_chip=1,
@@ -168,22 +166,39 @@ def cmd_replay(args: argparse.Namespace) -> int:
             gc_high_watermark=4,
         ),
         allocator_kind=args.allocator,
+        tracer=NULL_TRACER if tracer is None else tracer,
+        registry=registry,
     )
     print("formatting ...", file=sys.stderr)
     ftl.format()
-    ssd = Ssd(ftl, TimingConfig())
+    return Ssd(ftl, TimingConfig())
+
+
+def _synthetic_requests(logical_pages: int, interarrival_us: float):
+    """The default fill + zipf-overwrite workload of ``replay``/``run``."""
+    from repro.workloads import ArrivalProcess, sequential_fill, zipf_writes
+
+    arrivals = ArrivalProcess(mean_interarrival_us=interarrival_us)
+    requests = sequential_fill(logical_pages, arrivals=arrivals, seed=1)
+    requests += zipf_writes(
+        logical_pages,
+        int(logical_pages * 0.7),
+        arrivals=arrivals,
+        seed=2,
+    )
+    return requests
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.workloads import Replayer, load_trace
+
+    ssd = _build_ssd(args)
+    ftl = ssd.ftl
     replayer = Replayer(ssd)
-    arrivals = ArrivalProcess(mean_interarrival_us=args.interarrival_us)
     if args.trace:
         requests = load_trace(args.trace)
     else:
-        requests = sequential_fill(ftl.logical_pages, arrivals=arrivals, seed=1)
-        requests += zipf_writes(
-            ftl.logical_pages,
-            int(ftl.logical_pages * 0.7),
-            arrivals=arrivals,
-            seed=2,
-        )
+        requests = _synthetic_requests(ftl.logical_pages, args.interarrival_us)
     print(f"replaying {len(requests)} requests ...", file=sys.stderr)
     report = replayer.replay(requests)
     print(f"\nallocator: {args.allocator}")
@@ -200,6 +215,78 @@ def cmd_replay(args: argparse.Namespace) -> int:
         "gc_runs",
     ):
         print(f"  {key}: {metrics[key]:,.2f}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        TraceSummary,
+        render_report,
+        write_chrome,
+        write_jsonl,
+    )
+    from repro.workloads import Replayer
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    ssd = _build_ssd(args, tracer=tracer, registry=registry)
+    ftl = ssd.ftl
+    requests = _synthetic_requests(ftl.logical_pages, args.interarrival_us)
+    if args.requests is not None:
+        requests = requests[: args.requests]
+    print(f"running {len(requests)} requests (traced) ...", file=sys.stderr)
+    report = Replayer(ssd).replay(requests)
+    print(f"\nallocator: {args.allocator}")
+    for op, op_summary in report.summary().items():
+        print(
+            f"  {op:6s} n={int(op_summary['count']):6d} "
+            f"mean={op_summary['mean']:,.1f} us  p99={op_summary['p99']:,.1f} us"
+        )
+    metrics = ftl.metrics.summary()
+    for key in (
+        "write_amplification",
+        "host_write_p99_us",
+        "extra_program_p99_us",
+        "gc_runs",
+    ):
+        print(f"  {key}: {metrics[key]:,.2f}")
+    trace_summary = TraceSummary(tracer.events)
+    print()
+    print(render_report(trace_summary))
+    if args.trace:
+        write_chrome(args.trace, tracer.events)
+        print(
+            f"wrote Chrome trace: {args.trace} ({len(tracer.events)} events)",
+            file=sys.stderr,
+        )
+    if args.jsonl:
+        write_jsonl(args.jsonl, tracer.events)
+        print(f"wrote JSONL event log: {args.jsonl}", file=sys.stderr)
+    if args.summary:
+        doc = {
+            "allocator": args.allocator,
+            "seed": args.seed,
+            "requests": len(requests),
+            "ftl": metrics,
+            "registry": registry.snapshot(elapsed_us=ssd.metrics.last_finish_us),
+        }
+        Path(args.summary).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote summary JSON: {args.summary}", file=sys.stderr)
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import TraceSummary, read_jsonl, render_report
+
+    events = read_jsonl(args.trace)
+    print(render_report(TraceSummary(events), offender_limit=args.limit))
     return 0
 
 
@@ -282,6 +369,37 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--chips", type=int, default=4)
     replay.add_argument("--seed", type=int, default=2024)
     replay.set_defaults(func=cmd_replay)
+
+    run = sub.add_parser(
+        "run", help="run a traced synthetic workload on the simulated SSD"
+    )
+    run.add_argument("--trace", help="write a Chrome trace_event JSON here")
+    run.add_argument("--jsonl", help="write the raw JSONL event log here")
+    run.add_argument("--summary", help="write a JSON metrics summary here")
+    run.add_argument(
+        "--requests", type=int, default=None, help="cap the workload length"
+    )
+    run.add_argument(
+        "--allocator",
+        choices=["qstr", "random", "sequential", "pgm_sorted"],
+        default="qstr",
+    )
+    run.add_argument("--interarrival-us", type=float, default=8000.0)
+    run.add_argument("--blocks", type=int, default=48)
+    run.add_argument("--chips", type=int, default=4)
+    run.add_argument("--seed", type=int, default=2024)
+    run.set_defaults(func=cmd_run)
+
+    obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="summarize a JSONL event log from 'repro run --jsonl'"
+    )
+    obs_report.add_argument("trace", help="JSONL event log path")
+    obs_report.add_argument(
+        "--limit", type=int, default=10, help="attribution rows to show"
+    )
+    obs_report.set_defaults(func=cmd_obs_report)
 
     overhead = sub.add_parser("overhead", help="Section VI overhead numbers")
     overhead.add_argument("--window", type=int, default=4)

@@ -26,6 +26,7 @@ from repro.core.gathering import GatheringUnit
 from repro.core.placement import DEFAULT_POLICY, PlacementPolicy, WriteIntent
 from repro.core.records import BlockRecord
 from repro.nand.geometry import NandGeometry
+from repro.obs.registry import MetricsRegistry
 
 
 class QstrMedScheme:
@@ -37,11 +38,20 @@ class QstrMedScheme:
         lanes: Sequence[int],
         candidate_depth: int = 4,
         placement: PlacementPolicy = DEFAULT_POLICY,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if len(set(lanes)) != len(lanes):
             raise ValueError(f"duplicate lanes: {lanes}")
         self._geometry = geometry
         self.placement = placement
+        # Phase counters (Figure 8's three components): how often each
+        # QSTR-MED stage ran.  None keeps the scheme observation-free.
+        self._counters = registry
+        if registry is not None:
+            self._gather_reports = registry.counter("qstr_gather_reports")
+            self._blocks_gathered = registry.counter("qstr_blocks_gathered")
+            self._assemblies = registry.counter("qstr_assemblies")
+            self._allocations = registry.counter("qstr_block_allocations")
         self._catalogs: Dict[int, BlockCatalog] = {
             lane: BlockCatalog(lane) for lane in lanes
         }
@@ -84,6 +94,8 @@ class QstrMedScheme:
         choice = self._assembler.assemble(speed_class)
         for record in choice.members:
             self._in_use[record.key()] = record
+        if self._counters is not None:
+            self._assemblies.inc()
         return choice
 
     @property
@@ -100,14 +112,20 @@ class QstrMedScheme:
         """A block starts being written: begin gathering its fresh metadata."""
         if not self._gathering.is_open(lane, plane, block):
             self._gathering.open_block(lane, plane, block, pe_cycles)
+            if self._counters is not None:
+                self._allocations.inc()
 
     def note_wordline_programmed(
         self, lane: int, plane: int, block: int, lwl: int, latency_us: float
     ) -> None:
         """Feed one word-line's measured program latency."""
+        if self._counters is not None:
+            self._gather_reports.inc()
         self._gathering.report(lane, plane, block, lwl, latency_us)
 
     def _on_block_gathered(self, record: BlockRecord) -> None:
+        if self._counters is not None:
+            self._blocks_gathered.inc()
         self._pending[record.key()] = record
 
     def note_block_freed(self, lane: int, plane: int, block: int) -> None:

@@ -20,6 +20,7 @@ from repro.core.placement import DEFAULT_POLICY, PlacementPolicy
 from repro.core.records import BlockRecord
 from repro.core.scheme import QstrMedScheme
 from repro.nand.geometry import NandGeometry
+from repro.obs.registry import MetricsRegistry
 from repro.utils.rng import derive_seed
 
 
@@ -87,9 +88,12 @@ class QstrAllocator(BlockAllocator):
         lanes: Sequence[int],
         candidate_depth: int = 4,
         placement: PlacementPolicy = DEFAULT_POLICY,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(lanes)
-        self.scheme = QstrMedScheme(geometry, lanes, candidate_depth, placement)
+        self.scheme = QstrMedScheme(
+            geometry, lanes, candidate_depth, placement, registry=registry
+        )
 
     def register_free(self, record: BlockRecord) -> None:
         self.scheme.register_free_block(record)
@@ -188,10 +192,15 @@ def make_allocator(
     candidate_depth: int = 4,
     placement: PlacementPolicy = DEFAULT_POLICY,
     seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> BlockAllocator:
-    """Factory: ``qstr`` | ``random`` | ``sequential`` | ``pgm_sorted``."""
+    """Factory: ``qstr`` | ``random`` | ``sequential`` | ``pgm_sorted``.
+
+    ``registry`` (optional) receives the QSTR-MED gather/assemble/allocate
+    phase counters; the baselines have no phases to count.
+    """
     if kind == "qstr":
-        return QstrAllocator(geometry, lanes, candidate_depth, placement)
+        return QstrAllocator(geometry, lanes, candidate_depth, placement, registry)
     if kind in SimpleAllocator.STRATEGIES:
         return SimpleAllocator(lanes, kind, seed)
     raise ValueError(f"unknown allocator kind {kind!r}")

@@ -29,6 +29,8 @@ from repro.ftl.wear_leveling import WearLeveler
 from repro.ftl.writebuffer import BufferedPage, WriteBuffer, WriteStream
 from repro.nand.chip import FlashChip
 from repro.nand.errors import EnduranceExceededError, UncorrectableReadError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer
 
 
 class OutOfSpaceError(Exception):
@@ -41,7 +43,12 @@ class IntegrityError(Exception):
 
 @dataclass(frozen=True)
 class FlushReport:
-    """Outcome of programming one super word-line."""
+    """Outcome of programming one super word-line.
+
+    ``lane_latencies_us`` holds each member's own program latency in lane
+    order; ``slowest_lane_index``/``fastest_lane_index`` name the members
+    whose gap is the extra latency the paper studies.
+    """
 
     superblock_id: int
     lwl: int
@@ -49,6 +56,18 @@ class FlushReport:
     completion_us: float
     extra_us: float
     speed_class: SpeedClass
+    lane_latencies_us: Tuple[float, ...] = ()
+
+    @property
+    def slowest_lane_index(self) -> int:
+        """Lane index of the member that bounded this MP command."""
+        latencies = self.lane_latencies_us
+        return max(range(len(latencies)), key=lambda i: latencies[i])
+
+    @property
+    def fastest_lane_index(self) -> int:
+        latencies = self.lane_latencies_us
+        return min(range(len(latencies)), key=lambda i: latencies[i])
 
 
 @dataclass(frozen=True)
@@ -71,6 +90,8 @@ class Ftl:
         allocator_kind: str = "qstr",
         placement: PlacementPolicy = DEFAULT_POLICY,
         seed: int = 0,
+        tracer: NullTracer = NULL_TRACER,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if len(chips) < 2:
             raise ValueError("need at least two chips (lanes)")
@@ -85,6 +106,8 @@ class Ftl:
 
         self.config = config
         self.placement = placement
+        self.tracer = tracer
+        self.registry = registry
         self.chips: Dict[int, FlashChip] = {lane: chip for lane, chip in enumerate(chips)}
         self.lanes = list(self.chips)
         self.allocator: BlockAllocator = make_allocator(
@@ -94,6 +117,7 @@ class Ftl:
             candidate_depth=config.candidate_depth,
             placement=placement,
             seed=seed,
+            registry=registry,
         )
         self.allocator_kind = allocator_kind
 
@@ -215,7 +239,10 @@ class Ftl:
         # Coalesce: an lpn rewritten while still buffered keeps only the
         # newest copy, like a real DRAM write buffer.
         self.buffer.drop_lpn(lpn)
-        self.buffer.push(stream, BufferedPage(lpn=lpn, source=source))
+        self.buffer.push(
+            stream,
+            BufferedPage(lpn=lpn, source=source, enqueued_us=self.tracer.now_us),
+        )
         reports: List[FlushReport] = []
         while self.buffer.has_full_superwl(stream):
             reports.append(self._flush_superwl(stream))
@@ -248,6 +275,18 @@ class Ftl:
                 chip.pe_cycles(record.plane, record.block),
             )
         self.metrics.superblocks_opened += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "superblock_allocate",
+                "ftl.allocate",
+                track="ftl",
+                superblock=sb.sb_id,
+                speed_class=speed_class.name.lower(),
+                members=[
+                    {"chip": r.lane, "plane": r.plane, "block": r.block}
+                    for r in members
+                ],
+            )
         return sb
 
     def _open_superblock(self, speed_class: SpeedClass) -> ManagedSuperblock:
@@ -342,6 +381,9 @@ class Ftl:
         self.metrics.extra_program_us.add(extra)
         self.metrics.record_stream_write(stream.value, completion)
 
+        if self.tracer.enabled:
+            self._trace_flush(sb, stream, lwl, batch, latencies, completion, extra)
+
         if sb.is_full:
             sb.seal()
             if stream.steered:
@@ -357,6 +399,65 @@ class Ftl:
             completion_us=completion,
             extra_us=extra,
             speed_class=speed_class,
+            lane_latencies_us=tuple(latencies),
+        )
+
+    def _trace_flush(
+        self,
+        sb: ManagedSuperblock,
+        stream: WriteStream,
+        lwl: int,
+        batch: List[BufferedPage],
+        latencies: List[float],
+        completion: float,
+        extra: float,
+    ) -> None:
+        """Emit the MP-program span and its extra-latency attribution event.
+
+        Pure observation: reads the already-computed latencies and member
+        identities, draws nothing, changes nothing.
+        """
+        now = self.tracer.now_us
+        slowest_index = max(range(len(latencies)), key=lambda i: latencies[i])
+        fastest_index = min(range(len(latencies)), key=lambda i: latencies[i])
+        slowest = sb.members[slowest_index]
+        fastest = sb.members[fastest_index]
+        waits = [now - page.enqueued_us for page in batch]
+        self.tracer.complete(
+            "superpage_program",
+            "ftl.program",
+            now,
+            completion,
+            track="ftl",
+            superblock=sb.sb_id,
+            lwl=lwl,
+            stream=stream.value,
+            pages=len(batch),
+            buffer_wait_mean_us=sum(waits) / len(waits),
+            buffer_wait_max_us=max(waits),
+        )
+        self.tracer.instant(
+            "mp_program",
+            "ftl.attribution",
+            ts_us=now,
+            track="ftl",
+            superblock=sb.sb_id,
+            lwl=lwl,
+            speed_class=stream.speed_class.name.lower(),
+            completion_us=completion,
+            extra_us=extra,
+            slowest={
+                "chip": slowest.lane,
+                "plane": slowest.plane,
+                "block": slowest.block,
+                "lwl": lwl,
+            },
+            fastest={
+                "chip": fastest.lane,
+                "plane": fastest.plane,
+                "block": fastest.block,
+            },
+            lane_latencies_us=[round(value, 3) for value in latencies],
         )
 
     # -- read path -----------------------------------------------------------------------
@@ -510,6 +611,15 @@ class Ftl:
         return True
 
     def _reclaim(self, victim: ManagedSuperblock) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "gc_reclaim",
+                "ftl.gc",
+                track="ftl",
+                superblock=victim.sb_id,
+                valid_pages=self.mapper.valid_count(victim.sb_id),
+                wear_rotation=self._in_wear_rotation,
+            )
         # Relocate valid pages into the GC stream and drain it fully,
         # so no mapping still points into the victim when it is erased.
         gc_class = self.placement.classify(WriteIntent(source=WriteSource.GC))
@@ -523,7 +633,14 @@ class Ftl:
                     f"(sb{victim.sb_id}/slot{slot})"
                 )
             self.metrics.gc_read_us.add(latency)
-            self.buffer.push(gc_stream, BufferedPage(lpn=lpn, source=WriteSource.GC))
+            self.buffer.push(
+                gc_stream,
+                BufferedPage(
+                    lpn=lpn,
+                    source=WriteSource.GC,
+                    enqueued_us=self.tracer.now_us,
+                ),
+            )
             while self.buffer.has_full_superwl(gc_stream):
                 self._flush_superwl(gc_stream)
         while self.buffer.pending(gc_stream):
@@ -546,6 +663,25 @@ class Ftl:
             self.metrics.erase_us.add(max(latencies))
             if len(latencies) > 1:
                 self.metrics.extra_erase_us.add(max(latencies) - min(latencies))
+            if self.tracer.enabled:
+                slowest_index = max(
+                    range(len(latencies)), key=lambda i: latencies[i]
+                )
+                slowest = survivors[slowest_index]
+                self.tracer.instant(
+                    "mp_erase",
+                    "ftl.attribution",
+                    track="ftl",
+                    superblock=victim.sb_id,
+                    completion_us=max(latencies),
+                    extra_us=max(latencies) - min(latencies),
+                    slowest={
+                        "chip": slowest.lane,
+                        "plane": slowest.plane,
+                        "block": slowest.block,
+                    },
+                    lane_latencies_us=[round(value, 3) for value in latencies],
+                )
         for record in survivors:
             self.allocator.on_block_freed(record.lane, record.plane, record.block)
 

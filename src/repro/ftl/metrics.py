@@ -4,6 +4,11 @@ Latency accounting separates what the host sees (superpage program
 completions, page reads) from background work (GC reads/writes, erases),
 and tracks the paper's headline quantities: accumulated extra program and
 erase latency of the superblocks the FTL actually formed.
+
+Every latency accumulator is a :class:`~repro.obs.histograms.LatencyStat` —
+a fixed-bucket histogram behind the familiar ``mean``/``count`` surface —
+so the summary reports tails (p50/p95/p99/max), not just means: the tail is
+where a badly assembled superblock actually hurts.
 """
 
 from __future__ import annotations
@@ -11,24 +16,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.utils.stats import RunningStats
+from repro.obs.histograms import LatencyStat
 
 
 @dataclass
 class FtlMetrics:
     """Counters and latency accumulators of one FTL instance."""
 
-    host_write_us: RunningStats = field(default_factory=RunningStats)
-    host_read_us: RunningStats = field(default_factory=RunningStats)
-    gc_write_us: RunningStats = field(default_factory=RunningStats)
-    gc_read_us: RunningStats = field(default_factory=RunningStats)
-    erase_us: RunningStats = field(default_factory=RunningStats)
+    host_write_us: LatencyStat = field(default_factory=LatencyStat)
+    host_read_us: LatencyStat = field(default_factory=LatencyStat)
+    gc_write_us: LatencyStat = field(default_factory=LatencyStat)
+    gc_read_us: LatencyStat = field(default_factory=LatencyStat)
+    erase_us: LatencyStat = field(default_factory=LatencyStat)
     # per-MP-command extra (max - min) latencies
-    extra_program_us: RunningStats = field(default_factory=RunningStats)
-    extra_erase_us: RunningStats = field(default_factory=RunningStats)
+    extra_program_us: LatencyStat = field(default_factory=LatencyStat)
+    extra_erase_us: LatencyStat = field(default_factory=LatencyStat)
 
     # per-stream superpage completion latency (fast / fast_express / ...)
-    stream_write_us: Dict[str, RunningStats] = field(default_factory=dict)
+    stream_write_us: Dict[str, LatencyStat] = field(default_factory=dict)
 
     host_pages_written: int = 0
     gc_pages_written: int = 0
@@ -43,32 +48,57 @@ class FtlMetrics:
         """Track one superpage program completion under its stream label."""
         stats = self.stream_write_us.get(stream)
         if stats is None:
-            stats = RunningStats()
+            stats = LatencyStat()
             self.stream_write_us[stream] = stats
         stats.add(completion_us)
 
     @property
     def write_amplification(self) -> float:
-        """(host + GC pages) / host pages; 1.0 means no relocation traffic."""
+        """(host + GC pages) / host pages; 1.0 means no relocation traffic.
+
+        With no host traffic at all there is nothing to amplify, so the
+        neutral 1.0 is reported — a 0.0 would read as "better than ideal"
+        in comparisons.
+        """
         if self.host_pages_written == 0:
-            return 0.0
+            return 1.0
         return (self.host_pages_written + self.gc_pages_written) / self.host_pages_written
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict for reports and benches."""
-        def mean_or_zero(stats: RunningStats) -> float:
+        """Flat dict for reports and benches.
+
+        Host-facing distributions carry their tails (p50/p95/p99/max);
+        background accumulators report mean plus p99.  Per-stream superpage
+        completions are flattened as ``stream_<name>_write_mean_us`` so the
+        fast/slow-stream split survives into bench output.
+        """
+        def mean_or_zero(stats: LatencyStat) -> float:
             return stats.mean if stats.count else 0.0
 
-        return {
+        def quantile_or_zero(stats: LatencyStat, q: float) -> float:
+            return stats.quantile(q) if stats.count else 0.0
+
+        def max_or_zero(stats: LatencyStat) -> float:
+            return stats.maximum if stats.count else 0.0
+
+        out = {
             "host_pages_written": float(self.host_pages_written),
             "gc_pages_written": float(self.gc_pages_written),
             "pages_read": float(self.pages_read),
             "write_amplification": self.write_amplification,
             "host_write_mean_us": mean_or_zero(self.host_write_us),
+            "host_write_p50_us": quantile_or_zero(self.host_write_us, 0.50),
+            "host_write_p95_us": quantile_or_zero(self.host_write_us, 0.95),
+            "host_write_p99_us": quantile_or_zero(self.host_write_us, 0.99),
+            "host_write_max_us": max_or_zero(self.host_write_us),
             "host_read_mean_us": mean_or_zero(self.host_read_us),
+            "host_read_p99_us": quantile_or_zero(self.host_read_us, 0.99),
             "gc_write_mean_us": mean_or_zero(self.gc_write_us),
+            "gc_read_mean_us": mean_or_zero(self.gc_read_us),
             "erase_mean_us": mean_or_zero(self.erase_us),
             "extra_program_mean_us": mean_or_zero(self.extra_program_us),
+            "extra_program_p99_us": quantile_or_zero(self.extra_program_us, 0.99),
+            "extra_program_max_us": max_or_zero(self.extra_program_us),
             "extra_erase_mean_us": mean_or_zero(self.extra_erase_us),
             "superblocks_opened": float(self.superblocks_opened),
             "superblocks_erased": float(self.superblocks_erased),
@@ -76,3 +106,8 @@ class FtlMetrics:
             "blocks_retired": float(self.blocks_retired),
             "parity_reconstructions": float(self.parity_reconstructions),
         }
+        for name in sorted(self.stream_write_us):
+            out[f"stream_{name}_write_mean_us"] = mean_or_zero(
+                self.stream_write_us[name]
+            )
+        return out

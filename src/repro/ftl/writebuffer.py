@@ -41,10 +41,16 @@ class WriteStream(Enum):
 
 @dataclass(frozen=True)
 class BufferedPage:
-    """One page waiting to be flushed."""
+    """One page waiting to be flushed.
+
+    ``enqueued_us`` is the simulated time the page entered the buffer (0.0
+    when nothing advances the clock); the tracer uses it to attribute
+    write-buffer wait inside a host request's latency.
+    """
 
     lpn: int
     source: WriteSource
+    enqueued_us: float = 0.0
 
 
 class WriteBuffer:

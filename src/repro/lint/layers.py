@@ -3,7 +3,7 @@
 The simulator is layered as a DAG::
 
     utils → nand → characterization → assembly → core → ftl → ssd
-                                                              → workloads
+        ↘ obs ————— (importable by core / ftl / ssd / …) ——————→ workloads
                                                               → analysis
                                                               → lint / cli
 
@@ -11,7 +11,9 @@ Each entry in :data:`LAYER_DEPENDENCIES` names the subpackages a layer may
 import from (its own layer is always allowed).  ``characterization``,
 ``assembly`` and ``core`` form one conceptual band above ``nand``; within the
 band the order is characterization < assembly < core, matching how signatures
-feed assemblers feed the placement core.
+feed assemblers feed the placement core.  ``obs`` (tracing, histograms,
+metrics registry) sits directly above ``utils`` so every simulation layer
+from ``core`` up can emit into it without inverting the DAG.
 
 :data:`LAYER_EXCEPTIONS` lists the few reviewed module-level edges that cross
 the map, each with a justification here rather than in the importing file.
@@ -24,17 +26,23 @@ from typing import Dict, FrozenSet, Tuple
 #: subpackage -> subpackages it may import from (besides itself and stdlib).
 LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
     "utils": frozenset(),
+    "obs": frozenset({"utils"}),
     "nand": frozenset({"utils"}),
     "characterization": frozenset({"nand", "utils"}),
     "assembly": frozenset({"characterization", "nand", "utils"}),
-    "core": frozenset({"assembly", "characterization", "nand", "utils"}),
-    "ftl": frozenset({"core", "assembly", "characterization", "nand", "utils"}),
-    "ssd": frozenset({"ftl", "core", "assembly", "characterization", "nand", "utils"}),
+    "core": frozenset({"obs", "assembly", "characterization", "nand", "utils"}),
+    "ftl": frozenset(
+        {"obs", "core", "assembly", "characterization", "nand", "utils"}
+    ),
+    "ssd": frozenset(
+        {"obs", "ftl", "core", "assembly", "characterization", "nand", "utils"}
+    ),
     "workloads": frozenset(
-        {"ssd", "ftl", "core", "assembly", "characterization", "nand", "utils"}
+        {"obs", "ssd", "ftl", "core", "assembly", "characterization", "nand", "utils"}
     ),
     "analysis": frozenset(
         {
+            "obs",
             "workloads",
             "ssd",
             "ftl",

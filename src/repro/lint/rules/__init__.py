@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import determinism, layering, numeric, rng, units
+from repro.lint.rules import determinism, layering, numeric, obs, rng, units
 
-__all__ = ["determinism", "layering", "numeric", "rng", "units"]
+__all__ = ["determinism", "layering", "numeric", "obs", "rng", "units"]

@@ -1,0 +1,77 @@
+"""Observability discipline: the tracer must never see the wall clock.
+
+``repro.obs`` timestamps come exclusively from *simulated* time (the values
+the timing model and the FTL hand it) — the whole point of the trace layer
+is that two same-seed runs emit byte-identical files.  ``DET001`` already
+bans specific wall-clock *calls* across the simulator; inside ``repro.obs``
+the bar is higher: merely importing ``time`` or ``datetime`` (or reaching
+them through ``importlib``) is a finding, because any use would be a
+timestamp source the determinism guarantee cannot survive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, RuleContext, register_rule
+
+#: modules whose import inside repro.obs is categorically forbidden.
+_CLOCK_MODULES = frozenset({"time", "datetime"})
+
+
+@register_rule
+class WallClockModuleInObs(Rule):
+    code = "OBS001"
+    name = "wall-clock-module-in-obs"
+    description = (
+        "repro.obs timestamps must come from simulated time only; importing "
+        "or referencing the 'time'/'datetime' modules inside the tracer "
+        "layer breaks the byte-identical-trace guarantee"
+    )
+    scope_prefixes = ("repro.obs",)
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _CLOCK_MODULES:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"import of '{alias.name}' — " + self.description,
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                root = (node.module or "").split(".")[0]
+                if root in _CLOCK_MODULES:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"import from '{node.module}' — " + self.description,
+                    )
+            elif isinstance(node, ast.Attribute):
+                dotted = self.dotted_name(node)
+                if dotted is not None and dotted.split(".")[0] in _CLOCK_MODULES:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"reference to '{dotted}' — " + self.description,
+                    )
+            elif isinstance(node, ast.Call):
+                # importlib.import_module("time") and __import__("time")
+                callee = self.dotted_name(node.func)
+                if callee in ("importlib.import_module", "__import__"):
+                    if node.args and isinstance(node.args[0], ast.Constant):
+                        value = node.args[0].value
+                        if (
+                            isinstance(value, str)
+                            and value.split(".")[0] in _CLOCK_MODULES
+                        ):
+                            yield ctx.finding(
+                                self,
+                                node,
+                                f"dynamic import of '{value}' — "
+                                + self.description,
+                            )

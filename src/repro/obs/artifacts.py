@@ -1,0 +1,52 @@
+"""Per-run measurement artifacts for benches and CI.
+
+When ``REPRO_OBS_DIR`` is set, benches drop their summary dict (and, when
+they traced, the Chrome + JSONL trace files) into that directory so CI can
+upload them as build artifacts — the per-PR perf trajectory the ROADMAP
+asks for.  Unset, everything is a no-op, so local bench runs stay
+file-free.  The artifact content is derived purely from simulated
+measurements, never from the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs.export import write_chrome, write_jsonl
+from repro.obs.tracer import Tracer
+
+ENV_VAR = "REPRO_OBS_DIR"
+
+
+def artifacts_dir() -> Optional[Path]:
+    """The configured artifact directory, created on first use, or None."""
+    configured = os.environ.get(ENV_VAR)
+    if not configured:
+        return None
+    path = Path(configured)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def export_bench_artifacts(
+    name: str,
+    summary: Dict[str, Union[int, float, str]],
+    tracer: Optional[Tracer] = None,
+) -> Optional[Path]:
+    """Write ``<name>.summary.json`` (+ traces) under ``$REPRO_OBS_DIR``.
+
+    Returns the directory written to, or ``None`` when exporting is off.
+    """
+    directory = artifacts_dir()
+    if directory is None:
+        return None
+    (directory / f"{name}.summary.json").write_text(
+        json.dumps(summary, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    if tracer is not None and tracer.events:
+        write_chrome(directory / f"{name}.trace.json", tracer.events)
+        write_jsonl(directory / f"{name}.trace.jsonl", tracer.events)
+    return directory

@@ -1,0 +1,141 @@
+"""Central metrics registry: counters, histograms, utilization timelines.
+
+One registry instance collects everything a traced run measures — phase
+counters (QSTR-MED gather/assemble/allocate), latency histograms, and the
+per-:class:`~repro.ssd.timing.ResourceClock` busy timelines — under stable
+dotted names, and snapshots to one flat, deterministically ordered dict for
+reports and bench artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.histograms import DEFAULT_LATENCY_BUCKETS_US, LatencyStat
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class UtilizationTimeline:
+    """Busy segments of one shared resource over simulated time.
+
+    Records every ``(start_us, dur_us)`` acquisition; yields both the flat
+    utilization (busy/elapsed) and a bucketed utilization series for
+    timeline views.  Segments arrive in acquisition order and never overlap
+    (a :class:`ResourceClock` serializes its resource), so bucketing is a
+    single pass.
+    """
+
+    __slots__ = ("name", "segments")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.segments: List[Tuple[float, float]] = []
+
+    def record(self, start_us: float, dur_us: float) -> None:
+        if dur_us < 0:
+            raise ValueError("duration must be >= 0")
+        if dur_us > 0:
+            self.segments.append((start_us, dur_us))
+
+    @property
+    def busy_us(self) -> float:
+        return sum(dur for _, dur in self.segments)
+
+    def utilization(self, elapsed_us: float) -> float:
+        if elapsed_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / elapsed_us)
+
+    def series(self, bucket_us: float, until_us: float) -> List[float]:
+        """Per-bucket busy fraction from t=0 to ``until_us``."""
+        if bucket_us <= 0:
+            raise ValueError("bucket_us must be positive")
+        if until_us <= 0:
+            return []
+        buckets = [0.0] * int(-(-until_us // bucket_us))  # ceil
+        for start, dur in self.segments:
+            end = min(start + dur, until_us)
+            position = max(start, 0.0)
+            while position < end:
+                index = int(position // bucket_us)
+                edge = (index + 1) * bucket_us
+                buckets[index] += min(end, edge) - position
+                position = edge
+        return [busy / bucket_us for busy in buckets]
+
+
+class MetricsRegistry:
+    """Named counters, latency histograms and utilization timelines."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, LatencyStat] = {}
+        self._timelines: Dict[str, UtilizationTimeline] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US,
+    ) -> LatencyStat:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyStat(bounds)
+        return histogram
+
+    def timeline(self, name: str) -> UtilizationTimeline:
+        timeline = self._timelines.get(name)
+        if timeline is None:
+            timeline = self._timelines[name] = UtilizationTimeline(name)
+        return timeline
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def timelines(self) -> Dict[str, UtilizationTimeline]:
+        return dict(self._timelines)
+
+    def snapshot(self, elapsed_us: Optional[float] = None) -> Dict[str, float]:
+        """Flat, sorted ``name -> value`` view of everything registered.
+
+        Histograms flatten to ``<name>_{mean,p50,p95,p99,max}_us``; with an
+        ``elapsed_us``, timelines flatten to ``<name>_utilization``.
+        """
+        out: Dict[str, float] = {}
+        for name in sorted(self._counters):
+            out[name] = float(self._counters[name].value)
+        for name in sorted(self._histograms):
+            summary = self._histograms[name].summary()
+            out[f"{name}_count"] = summary["count"]
+            for key in ("mean", "p50", "p95", "p99", "max"):
+                out[f"{name}_{key}_us"] = summary[key]
+        if elapsed_us is not None:
+            for name in sorted(self._timelines):
+                out[f"{name}_utilization"] = self._timelines[name].utilization(
+                    elapsed_us
+                )
+        return out

@@ -1,0 +1,117 @@
+"""Render a recorded trace into a human-readable observability report.
+
+Backs ``repro obs report``: per-category span/event rollups, the
+extra-latency attribution table (which member block slowed its superpage
+programs down, and by how much in total), and latency histograms rebuilt
+from the event stream — all computed from the JSONL log alone, so a trace
+file is a self-contained measurement artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.obs.histograms import LatencyStat
+from repro.obs.tracer import TraceEvent
+
+#: args key carrying the slowest-member identity on attribution events.
+SLOWEST_KEY = "slowest"
+EXTRA_KEY = "extra_us"
+
+
+def _member_label(member: Mapping[str, object]) -> str:
+    return (
+        f"chip{member.get('chip')}/pl{member.get('plane')}"
+        f"/blk{member.get('block')}"
+    )
+
+
+class TraceSummary:
+    """Aggregates of one event stream."""
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self.span_stats: Dict[Tuple[str, str], LatencyStat] = {}
+        self.event_counts: Dict[Tuple[str, str], int] = {}
+        self.extra_by_member: Dict[Tuple[str, str], LatencyStat] = {}
+        self.first_ts_us = 0.0
+        self.last_ts_us = 0.0
+        self.total_events = 0
+        for event in events:
+            self.total_events += 1
+            if self.total_events == 1:
+                self.first_ts_us = event.ts_us
+            self.first_ts_us = min(self.first_ts_us, event.ts_us)
+            self.last_ts_us = max(self.last_ts_us, event.ts_us + event.dur_us)
+            key = (event.cat, event.name)
+            if event.ph == "X":
+                stat = self.span_stats.get(key)
+                if stat is None:
+                    stat = self.span_stats[key] = LatencyStat()
+                stat.add(event.dur_us)
+            else:
+                self.event_counts[key] = self.event_counts.get(key, 0) + 1
+            extra = event.args.get(EXTRA_KEY)
+            slowest = event.args.get(SLOWEST_KEY)
+            if isinstance(extra, (int, float)) and isinstance(slowest, dict):
+                member_key = (event.name, _member_label(slowest))
+                stat = self.extra_by_member.get(member_key)
+                if stat is None:
+                    stat = self.extra_by_member[member_key] = LatencyStat()
+                stat.add(float(extra))
+
+    @property
+    def elapsed_us(self) -> float:
+        return max(0.0, self.last_ts_us - self.first_ts_us)
+
+    def top_offenders(
+        self, name: str = "mp_program", limit: int = 10
+    ) -> List[Tuple[str, LatencyStat]]:
+        """Member blocks ranked by the total extra latency they caused."""
+        rows = [
+            (label, stat)
+            for (event_name, label), stat in self.extra_by_member.items()
+            if event_name == name
+        ]
+        rows.sort(key=lambda row: (-row[1].total, row[0]))
+        return rows[:limit]
+
+
+def render_report(summary: TraceSummary, offender_limit: int = 10) -> str:
+    """The ``repro obs report`` text body."""
+    lines: List[str] = []
+    lines.append(
+        f"trace: {summary.total_events} events over "
+        f"{summary.elapsed_us:,.1f} us of simulated time"
+    )
+    if summary.span_stats:
+        lines.append("")
+        lines.append("spans (by category/name):")
+        for (cat, name) in sorted(summary.span_stats):
+            stat = summary.span_stats[(cat, name)]
+            lines.append(
+                f"  {cat:12s} {name:18s} n={stat.count:7d} "
+                f"mean={stat.mean:10,.1f} p95={stat.p95:10,.1f} "
+                f"p99={stat.p99:10,.1f} max={stat.maximum:10,.1f} us"
+            )
+    if summary.event_counts:
+        lines.append("")
+        lines.append("events:")
+        for (cat, name) in sorted(summary.event_counts):
+            lines.append(
+                f"  {cat:12s} {name:18s} n={summary.event_counts[(cat, name)]}"
+            )
+    for event_name in ("mp_program", "mp_erase"):
+        offenders = summary.top_offenders(event_name, offender_limit)
+        if not offenders:
+            continue
+        lines.append("")
+        lines.append(
+            f"extra-latency attribution — slowest members of {event_name}:"
+        )
+        for label, stat in offenders:
+            lines.append(
+                f"  {label:22s} slowed {stat.count:5d} commands, "
+                f"total extra {stat.total:12,.1f} us "
+                f"(mean {stat.mean:8,.1f}, max {stat.maximum:8,.1f})"
+            )
+    return "\n".join(lines)

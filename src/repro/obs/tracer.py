@@ -1,0 +1,181 @@
+"""Deterministic sim-time tracer.
+
+Every timestamp is *simulated* microseconds — the tracer never touches the
+wall clock (rule ``OBS001`` forbids even importing ``time`` here), so two
+runs with the same seed emit byte-identical traces.  The default
+:data:`NULL_TRACER` swallows everything through no-op methods and reports
+``enabled = False`` so hot paths can skip argument construction entirely;
+instrumentation must only ever *read* simulation state, never draw from an
+RNG or reorder events, which keeps the traced and untraced runs numerically
+identical.
+
+Event model (a deliberately small subset of Chrome's ``trace_event``):
+
+* ``complete`` spans — a named interval with ``ts``/``dur`` (phase ``X``);
+* ``instant`` events — a point occurrence (phase ``i``), used for the
+  extra-latency attribution records;
+* ``counter`` events — named value samples over time (phase ``C``).
+
+Each event carries a ``track`` (rendered as a Chrome thread) and a
+monotonically increasing ``seq`` that pins a total order even between
+events sharing one timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+#: JSON-safe argument values the tracer accepts.
+ArgValue = Union[None, bool, int, float, str, Tuple[Any, ...], List[Any], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event; ``ph`` follows Chrome trace_event phases."""
+
+    ph: str  # "X" complete, "i" instant, "C" counter
+    name: str
+    cat: str
+    ts_us: float
+    dur_us: float
+    track: str
+    seq: int
+    args: Mapping[str, ArgValue] = field(default_factory=dict)
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a no-op.
+
+    ``now_us`` still advances (a couple of float compares per request) so
+    code can stamp bookkeeping like buffer-enqueue times unconditionally;
+    everything else short-circuits on ``enabled``.
+    """
+
+    __slots__ = ("now_us",)
+
+    enabled: bool = False
+
+    def __init__(self) -> None:
+        self.now_us = 0.0
+
+    def advance(self, now_us: float) -> None:
+        """Move simulated time forward (never backward)."""
+        if now_us > self.now_us:
+            self.now_us = now_us
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start_us: float,
+        dur_us: float,
+        track: str = "main",
+        **args: ArgValue,
+    ) -> None:
+        """Record a span; no-op here."""
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts_us: Optional[float] = None,
+        track: str = "main",
+        **args: ArgValue,
+    ) -> None:
+        """Record a point event; no-op here."""
+
+    def counter(
+        self,
+        name: str,
+        values: Mapping[str, float],
+        ts_us: Optional[float] = None,
+        track: str = "counters",
+    ) -> None:
+        """Record a counter sample; no-op here."""
+
+
+class Tracer(NullTracer):
+    """The recording tracer: appends :class:`TraceEvent` rows in call order."""
+
+    __slots__ = ("events", "_seq")
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start_us: float,
+        dur_us: float,
+        track: str = "main",
+        **args: ArgValue,
+    ) -> None:
+        if dur_us < 0:
+            raise ValueError(f"span {name!r} has negative duration {dur_us}")
+        self.events.append(
+            TraceEvent(
+                ph="X",
+                name=name,
+                cat=cat,
+                ts_us=start_us,
+                dur_us=dur_us,
+                track=track,
+                seq=self._next_seq(),
+                args=dict(args),
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts_us: Optional[float] = None,
+        track: str = "main",
+        **args: ArgValue,
+    ) -> None:
+        self.events.append(
+            TraceEvent(
+                ph="i",
+                name=name,
+                cat=cat,
+                ts_us=self.now_us if ts_us is None else ts_us,
+                dur_us=0.0,
+                track=track,
+                seq=self._next_seq(),
+                args=dict(args),
+            )
+        )
+
+    def counter(
+        self,
+        name: str,
+        values: Mapping[str, float],
+        ts_us: Optional[float] = None,
+        track: str = "counters",
+    ) -> None:
+        self.events.append(
+            TraceEvent(
+                ph="C",
+                name=name,
+                cat="counter",
+                ts_us=self.now_us if ts_us is None else ts_us,
+                dur_us=0.0,
+                track=track,
+                seq=self._next_seq(),
+                args={key: values[key] for key in sorted(values)},
+            )
+        )
+
+
+#: The process-wide disabled tracer every constructor defaults to.
+NULL_TRACER = NullTracer()

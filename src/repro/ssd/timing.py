@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro.nand.geometry import NandGeometry
+from repro.obs.registry import UtilizationTimeline
 
 
 @dataclass(frozen=True)
@@ -48,12 +49,20 @@ def default_lane_channel_map(lanes: Sequence[int], channels: int) -> Dict[int, i
 
 
 class ResourceClock:
-    """Busy-until bookkeeping for one shared resource (a channel, a die)."""
+    """Busy-until bookkeeping for one shared resource (a channel, a die).
 
-    def __init__(self, name: str) -> None:
+    When an observability :class:`UtilizationTimeline` is attached, every
+    acquisition's ``(start, duration)`` segment is recorded there — a pure
+    log of decisions already made, so attaching one never changes timing.
+    """
+
+    def __init__(
+        self, name: str, timeline: Optional[UtilizationTimeline] = None
+    ) -> None:
         self.name = name
         self.busy_until_us = 0.0
         self.busy_time_us = 0.0
+        self.timeline = timeline
 
     def acquire(self, now_us: float, duration_us: float) -> float:
         """Occupy the resource for ``duration_us`` starting no earlier than now.
@@ -65,6 +74,8 @@ class ResourceClock:
         start = max(now_us, self.busy_until_us)
         self.busy_until_us = start + duration_us
         self.busy_time_us += duration_us
+        if self.timeline is not None:
+            self.timeline.record(start, duration_us)
         return self.busy_until_us
 
     def utilization(self, elapsed_us: float) -> float:

@@ -108,6 +108,70 @@ def _seeded_tree(tmp_path, name, source):
     return path
 
 
+class TestRunCommand:
+    def test_run_writes_all_artifacts(self, capsys, tmp_path):
+        chrome = tmp_path / "run.trace.json"
+        jsonl = tmp_path / "run.trace.jsonl"
+        summary = tmp_path / "run.summary.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--blocks", "24",
+                    "--chips", "3",
+                    "--seed", "4",
+                    "--requests", "150",
+                    "--trace", str(chrome),
+                    "--jsonl", str(jsonl),
+                    "--summary", str(summary),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "host_write_p99_us" in out
+        assert "extra-latency attribution" in out
+
+        document = json.loads(chrome.read_text())
+        rows = document["traceEvents"]
+        assert rows
+        timestamps = [row["ts"] for row in rows if row["ph"] != "M"]
+        assert timestamps == sorted(timestamps)
+        attributions = [row for row in rows if row["name"] == "mp_program"]
+        assert attributions
+        assert {"chip", "plane", "block"} <= set(
+            attributions[0]["args"]["slowest"]
+        )
+
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+
+        doc = json.loads(summary.read_text())
+        assert doc["ftl"]["host_write_p99_us"] > 0
+        assert any(key.endswith("_utilization") for key in doc["registry"])
+
+    def test_obs_report_reads_back_jsonl(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.trace.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "--blocks", "24",
+                    "--chips", "3",
+                    "--seed", "4",
+                    "--requests", "120",
+                    "--jsonl", str(jsonl),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "report", str(jsonl), "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "spans (by category/name)" in out
+        assert "mp_program" in out
+
+
 class TestLintCommand:
     def test_lint_clean_repo_exits_zero(self, capsys):
         assert main(["lint", "src", "benchmarks", "examples", "tools"]) == 0

@@ -40,6 +40,7 @@ def test_registry_has_all_rule_families() -> None:
         "UNIT001",
         "UNIT002",
         "UNIT003",
+        "OBS001",
     } <= registered
 
 
@@ -279,6 +280,41 @@ def test_suppression_is_code_specific() -> None:
 def test_parse_suppressions_multiple_codes() -> None:
     index = parse_suppressions("x = 1  # reprolint: disable=RNG001, NUM001\n")
     assert index.line_codes[1] == frozenset({"RNG001", "NUM001"})
+
+
+# ---------------------------------------------------------------- OBS001
+
+
+def test_obs001_flags_clock_modules_in_obs() -> None:
+    assert "OBS001" in codes(run("import time\n", module="repro.obs.tracer"))
+    assert "OBS001" in codes(
+        run("from datetime import datetime\n", module="repro.obs.export")
+    )
+    assert "OBS001" in codes(
+        run("stamp = time.monotonic\n", module="repro.obs.tracer")
+    )
+    assert "OBS001" in codes(
+        run(
+            """
+            import importlib
+            clock = importlib.import_module("time")
+            """,
+            module="repro.obs.registry",
+        )
+    )
+    assert "OBS001" in codes(
+        run('clock = __import__("datetime")\n', module="repro.obs.tracer")
+    )
+
+
+def test_obs001_scoped_to_obs_package() -> None:
+    # Outside repro.obs the stricter import ban does not apply (DET001
+    # still polices wall-clock *calls* simulator-wide).
+    assert "OBS001" not in codes(run("import time\n", module="repro.ftl.ftl"))
+    # Benign imports inside repro.obs stay clean.
+    assert "OBS001" not in codes(
+        run("import json\nfrom pathlib import Path\n", module="repro.obs.export")
+    )
 
 
 # ---------------------------------------------------------------- engine

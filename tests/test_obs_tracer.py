@@ -1,0 +1,125 @@
+"""Tracer and metrics-registry tests (repro.obs.tracer / registry)."""
+
+import pytest
+
+from repro.obs.registry import Counter, MetricsRegistry, UtilizationTimeline
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.complete("span", "cat", 0.0, 10.0, lpn=1)
+        tracer.instant("evt", "cat", extra_us=5.0)
+        tracer.counter("util", {"busy": 0.5})
+        assert not hasattr(tracer, "events")
+
+    def test_clock_is_monotonic(self):
+        tracer = NullTracer()
+        tracer.advance(5.0)
+        tracer.advance(3.0)  # time never rewinds
+        assert tracer.now_us == 5.0
+        tracer.advance(8.0)
+        assert tracer.now_us == 8.0
+
+    def test_module_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+
+class TestTracer:
+    def test_records_in_call_order_with_seq(self):
+        tracer = Tracer()
+        assert tracer.enabled is True
+        tracer.complete("a", "cat", 0.0, 10.0, track="t0", lpn=7)
+        tracer.instant("b", "cat", ts_us=4.0)
+        tracer.counter("c", {"y": 2.0, "x": 1.0})
+        assert [e.seq for e in tracer.events] == [1, 2, 3]
+        span, instant, counter = tracer.events
+        assert (span.ph, span.ts_us, span.dur_us) == ("X", 0.0, 10.0)
+        assert span.args == {"lpn": 7}
+        assert (instant.ph, instant.ts_us, instant.dur_us) == ("i", 4.0, 0.0)
+        assert counter.ph == "C"
+        assert list(counter.args) == ["x", "y"]  # sorted keys
+
+    def test_instant_defaults_to_sim_now(self):
+        tracer = Tracer()
+        tracer.advance(123.0)
+        tracer.instant("evt", "cat")
+        assert tracer.events[0].ts_us == 123.0
+
+    def test_negative_duration_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.complete("bad", "cat", 10.0, -1.0)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("n")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+
+class TestUtilizationTimeline:
+    def test_busy_and_utilization(self):
+        timeline = UtilizationTimeline("die0")
+        timeline.record(0.0, 10.0)
+        timeline.record(20.0, 10.0)
+        timeline.record(40.0, 0.0)  # zero-duration: not a segment
+        assert timeline.busy_us == pytest.approx(20.0)
+        assert len(timeline.segments) == 2
+        assert timeline.utilization(40.0) == pytest.approx(0.5)
+        assert timeline.utilization(0.0) == 0.0
+        assert timeline.utilization(5.0) == 1.0  # clamped
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            UtilizationTimeline("x").record(0.0, -1.0)
+
+    def test_series(self):
+        timeline = UtilizationTimeline("die0")
+        timeline.record(0.0, 10.0)
+        series = timeline.series(bucket_us=4.0, until_us=12.0)
+        assert series == pytest.approx([1.0, 1.0, 0.5])
+        assert timeline.series(4.0, 0.0) == []
+        with pytest.raises(ValueError):
+            timeline.series(0.0, 10.0)
+
+    def test_series_truncates_at_until(self):
+        timeline = UtilizationTimeline("die0")
+        timeline.record(5.0, 100.0)
+        series = timeline.series(bucket_us=10.0, until_us=20.0)
+        assert series == pytest.approx([0.5, 1.0])
+
+
+class TestMetricsRegistry:
+    def test_lazily_creates_and_reuses(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.timeline("t") is registry.timeline("t")
+
+    def test_snapshot_flat_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc(3)
+        registry.counter("alpha").inc()
+        registry.histogram("lat").extend([10.0, 1000.0])
+        registry.timeline("die0").record(0.0, 50.0)
+        snapshot = registry.snapshot(elapsed_us=100.0)
+        assert snapshot["alpha"] == 1.0
+        assert snapshot["zeta"] == 3.0
+        assert snapshot["lat_count"] == 2.0
+        assert snapshot["lat_p99_us"] == pytest.approx(1000.0)
+        assert snapshot["die0_utilization"] == pytest.approx(0.5)
+        assert list(snapshot)[:2] == ["alpha", "zeta"]  # counters sorted first
+
+    def test_snapshot_without_elapsed_omits_utilization(self):
+        registry = MetricsRegistry()
+        registry.timeline("die0").record(0.0, 50.0)
+        assert registry.snapshot() == {}
