@@ -7,8 +7,7 @@ chip but diverge across chips once the common layer shape is removed.
 
 import numpy as np
 
-from repro.analysis import fig5_characterization, render_series_block
-from repro.characterization.statistics import mean_lwl_curve
+from repro.api import fig5_characterization, mean_lwl_curve, render_series_block
 
 
 def test_fig05_characterization(benchmark, testbed_chips):

@@ -5,7 +5,7 @@ Paper: QSTR-MED reduces extra PGM latency by 16.61% and extra ERS latency by
 method), within ~380 µs of the impractical optimal.
 """
 
-from repro.analysis import render_table
+from repro.api import render_table
 
 METHODS = ["SEQUENTIAL", "OPTIMAL(8)", "QSTR-MED(4)", "STR-MED(4)"]
 PAPER_PGM_IMP = {"SEQUENTIAL": 10.45, "OPTIMAL(8)": 19.49, "QSTR-MED(4)": 16.61, "STR-MED(4)": 16.74}

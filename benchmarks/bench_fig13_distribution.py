@@ -6,8 +6,7 @@ short extra latency under QSTR-MED, while random's mass sits to the right.
 
 import numpy as np
 
-from repro.analysis import fig13_distributions, render_histogram
-from repro.utils.stats import percentile
+from repro.api import fig13_distributions, percentile, render_histogram
 
 METHODS = ["QSTR-MED(4)", "OPTIMAL(8)"]
 

@@ -3,31 +3,39 @@
 The paper stresses the blocks between epochs and shows QSTR-MED's latencies
 stay consistent as the drive wears — it keeps re-organizing superblocks with
 minimal extra latency at every wear level.
+
+Runs as a parallel sweep over ``pe_cycles`` through the ``methods`` task:
+each cell wears a fresh (same-seed, hence identical) testbed to its epoch
+and evaluates QSTR-MED against the random baseline.  ``stress_block`` is a
+pure counter, so per-cell wear at ``target_pe`` matches the paper's
+sequential chamber runs exactly.
 """
 
 import numpy as np
 
-from repro.analysis import build_testbed, fig15_pe_sweep, render_series_block, TestbedConfig
+from repro.api import render_series_block, run_sweep, SimConfig, Sweep
 
 PE_POINTS = tuple(range(0, 3001, 300))
 
 
 def test_fig15_pe_sensitivity(benchmark):
-    # Fresh chips: this bench wears them out, so it must not share the
-    # session testbed with the other benches.
-    chips = build_testbed(TestbedConfig(seed=4242))
+    # Fresh chips per cell: this bench wears them out, so it must not share
+    # the session testbed with the other benches.
+    sweep = Sweep(
+        "methods",
+        base=SimConfig.testbed(seed=4242, pool_blocks=200),
+        params={"methods": ["QSTR-MED(4)"]},
+    ).over("pe_cycles", PE_POINTS)
 
-    points = benchmark.pedantic(
-        lambda: fig15_pe_sweep(chips, PE_POINTS, pool_blocks=200),
-        rounds=1,
-        iterations=1,
+    result = benchmark.pedantic(
+        lambda: run_sweep(sweep, workers=2), rounds=1, iterations=1
     )
 
-    pes = [p.pe for p in points]
-    random_pgm = [p.random.mean_extra_program_us for p in points]
-    qstr_pgm = [p.qstr_med.mean_extra_program_us for p in points]
-    random_ers = [p.random.mean_extra_erase_us for p in points]
-    qstr_ers = [p.qstr_med.mean_extra_erase_us for p in points]
+    pes = [cell.result["pe_cycles"] for cell in result.cells]
+    random_pgm = result.column("baseline.mean_extra_program_us")
+    qstr_pgm = result.column("methods.QSTR-MED(4).mean_extra_program_us")
+    random_ers = result.column("baseline.mean_extra_erase_us")
+    qstr_ers = result.column("methods.QSTR-MED(4).mean_extra_erase_us")
 
     print()
     print(f"P/E points: {pes}")

@@ -8,8 +8,7 @@ random) holds everywhere, even as the percentage moves.
 
 import numpy as np
 
-from repro.analysis import render_table
-from repro.analysis.sensitivity import knob_sweep, seed_sweep
+from repro.api import knob_sweep, render_table, seed_sweep
 
 SEEDS = (7, 99, 555, 2024, 31337)
 

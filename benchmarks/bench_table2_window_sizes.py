@@ -4,7 +4,7 @@ Paper: 18.27 / 18.05 / 17.42 / 15.02 % — larger windows help monotonically,
 with diminishing returns above 4.
 """
 
-from repro.analysis import render_table2
+from repro.api import render_table2
 
 
 WINDOW_NAMES = ["STR-RANK(8)", "STR-RANK(6)", "STR-RANK(4)", "STR-RANK(2)"]

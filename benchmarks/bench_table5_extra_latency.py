@@ -5,7 +5,7 @@ optimal 10,533.44 / 22.65; QSTR-MED(4) 10,911.53 / 25.10;
 STR-MED(4) 10,894.23 / 24.97.
 """
 
-from repro.analysis import TABLE5_METHODS, render_table5
+from repro.api import render_table5, TABLE5_METHODS
 
 
 def test_table5_extra_latency(benchmark, evaluator):

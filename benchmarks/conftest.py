@@ -4,57 +4,39 @@ The benches reproduce the paper's evaluation at its real scale (four chips,
 400-block pools, paper geometry), so the probed pools and per-method
 evaluations are built once per session and shared; each bench file still
 prints the full table/figure it is responsible for.
+
+Everything is constructed through the stable facade (``repro.api``): the
+default :class:`SimConfig` testbed and :func:`build_stack` — the same path
+the CLI and the sweep runner use.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
 
-from repro.analysis import (
-    DEFAULT_POOL_BLOCKS,
-    TestbedConfig,
-    build_testbed,
-    standard_pools,
-)
-from repro.analysis.experiments import MethodRow, _assembler_for
-from repro.assembly import MethodResult, RandomAssembler, evaluate_assembler
+from repro.api import MethodEvaluator, SimConfig, build_stack
 
 
 @pytest.fixture(scope="session")
-def testbed_chips():
-    return build_testbed(TestbedConfig())
+def sim_config() -> SimConfig:
+    return SimConfig.testbed()
 
 
 @pytest.fixture(scope="session")
-def pools(testbed_chips):
-    return standard_pools(testbed_chips, DEFAULT_POOL_BLOCKS)
+def stack(sim_config):
+    return build_stack(sim_config)
 
 
-class MethodEvaluator:
-    """Lazy, memoized per-method evaluation over the shared pools."""
+@pytest.fixture(scope="session")
+def testbed_chips(stack):
+    return stack.chips
 
-    def __init__(self, pools):
-        self._pools = pools
-        self._cache: Dict[str, MethodResult] = {}
 
-    def result(self, name: str) -> MethodResult:
-        if name not in self._cache:
-            if name == "RANDOM":
-                assembler = RandomAssembler(seed=1)
-            else:
-                assembler = _assembler_for(name)
-            self._cache[name] = evaluate_assembler(assembler, self._pools)
-        return self._cache[name]
-
-    def row(self, name: str) -> MethodRow:
-        return MethodRow(name=name, result=self.result(name), baseline=self.result("RANDOM"))
-
-    def rows(self, names) -> Dict[str, MethodRow]:
-        return {name: self.row(name) for name in names}
+@pytest.fixture(scope="session")
+def pools(stack):
+    return stack.pools()
 
 
 @pytest.fixture(scope="session")
 def evaluator(pools) -> MethodEvaluator:
-    return MethodEvaluator(pools)
+    return MethodEvaluator(pools, seed=1)

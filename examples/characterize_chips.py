@@ -15,15 +15,20 @@ Run:  python examples/characterize_chips.py
 
 import numpy as np
 
-from repro import PAPER_GEOMETRY, FlashChip, Prober, VariationModel, VariationParams
-from repro.analysis import render_series_block, sparkline
-from repro.characterization import (
-    MeasurementSet,
+from repro.api import (
+    eigen_sequence,
+    FlashChip,
     mean_lwl_curve,
+    MeasurementSet,
+    PAPER_GEOMETRY,
+    Prober,
+    render_series_block,
     residual_trend_correlation,
+    sparkline,
     variability_report,
+    VariationModel,
+    VariationParams,
 )
-from repro.core import eigen_sequence
 
 
 def main() -> None:

@@ -13,22 +13,22 @@ Run:  python examples/ftl_trace_replay.py
 import tempfile
 from pathlib import Path
 
-from repro import (
+from repro.api import (
+    ArrivalProcess,
     FlashChip,
     Ftl,
     FtlConfig,
+    load_trace,
     NandGeometry,
     Replayer,
+    save_trace,
+    sequential_fill,
     Ssd,
     TimingConfig,
     VariationModel,
     VariationParams,
-    load_trace,
-    save_trace,
-    sequential_fill,
     zipf_writes,
 )
-from repro.workloads import ArrivalProcess
 
 # Paper-like block structure, scaled down so the demo fills the drive and
 # garbage-collects in a few seconds.

@@ -10,21 +10,22 @@ Section VI.
 Run:  python examples/ondemand_assembly.py
 """
 
-from repro import (
-    PAPER_GEOMETRY,
+from repro.api import (
     FlashChip,
+    FootprintModel,
+    format_bytes,
+    overhead_reduction_pct,
+    PAPER_GEOMETRY,
+    qstr_med_pair_checks,
     QstrMedScheme,
     SpeedClass,
+    str_med_pair_checks,
+    TIB,
     VariationModel,
     VariationParams,
     WriteIntent,
     WriteSource,
-    overhead_reduction_pct,
-    qstr_med_pair_checks,
-    str_med_pair_checks,
 )
-from repro.core import FootprintModel
-from repro.utils.units import TIB, format_bytes
 
 
 def main() -> None:

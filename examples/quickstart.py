@@ -8,15 +8,15 @@ paper's QSTR-MED scheme — printing the extra program/erase latency both ways.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    PAPER_GEOMETRY,
+from repro.api import (
+    build_lane_pools,
+    evaluate_assembler,
     FlashChip,
+    PAPER_GEOMETRY,
     QstrMedAssembler,
     RandomAssembler,
     VariationModel,
     VariationParams,
-    build_lane_pools,
-    evaluate_assembler,
 )
 
 

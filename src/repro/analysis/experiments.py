@@ -16,23 +16,18 @@ import numpy as np
 
 from repro.assembly import (
     Assembler,
-    ErsLatencyAssembler,
     LanePool,
-    LwlRankAssembler,
     MethodResult,
     OptimalAssembler,
-    PgmLatencyAssembler,
-    PwlRankAssembler,
     RandomAssembler,
-    SequentialAssembler,
     StrMedianAssembler,
-    StrRankAssembler,
     build_lane_pools,
     evaluate_assembler,
 )
 from repro.characterization.prober import Prober
 from repro.core import QstrMedAssembler
-from repro.nand import PAPER_GEOMETRY, FlashChip, NandGeometry, VariationModel, VariationParams
+from repro.exp import MethodEvaluator, MethodRow, SimConfig, build_stack, make_assembler
+from repro.nand import PAPER_GEOMETRY, FlashChip, NandGeometry, VariationParams
 from repro.utils.stats import Histogram
 
 DEFAULT_SEED = 2024
@@ -42,7 +37,11 @@ DEFAULT_POOL_BLOCKS = 400
 
 @dataclass(frozen=True)
 class TestbedConfig:
-    """Scale of one experiment run (defaults mirror the paper's setup)."""
+    """Scale of one experiment run (defaults mirror the paper's setup).
+
+    Thin argparse-era shim kept for backward compatibility; new code should
+    use :class:`repro.exp.SimConfig` directly.
+    """
 
     geometry: NandGeometry = PAPER_GEOMETRY
     params: VariationParams = field(default_factory=VariationParams)
@@ -50,14 +49,19 @@ class TestbedConfig:
     chips: int = DEFAULT_CHIPS
     pool_blocks: int = DEFAULT_POOL_BLOCKS
 
+    def to_sim_config(self) -> SimConfig:
+        return SimConfig(
+            seed=self.seed,
+            chips=self.chips,
+            pool_blocks=self.pool_blocks,
+            geometry=self.geometry,
+            variation=self.params,
+        )
+
 
 def build_testbed(config: TestbedConfig = TestbedConfig()) -> List[FlashChip]:
-    """The chips one experiment runs on."""
-    model = VariationModel(config.geometry, config.params, seed=config.seed)
-    return [
-        FlashChip(model.chip_profile(chip_id), config.geometry)
-        for chip_id in range(config.chips)
-    ]
+    """The chips one experiment runs on (via the one construction path)."""
+    return build_stack(config.to_sim_config()).chips
 
 
 def standard_pools(
@@ -87,55 +91,16 @@ TABLE1_METHODS = (
 
 
 def _assembler_for(name: str, seed: int = 1) -> Assembler:
-    registry = {
-        "RANDOM": lambda: RandomAssembler(seed=seed),
-        "SEQUENTIAL": SequentialAssembler,
-        "ERS-LTN": ErsLatencyAssembler,
-        "PGM-LTN": PgmLatencyAssembler,
-        "OPTIMAL(8)": lambda: OptimalAssembler(8),
-        "LWL-RANK(8)": lambda: LwlRankAssembler(8),
-        "PWL-RANK(8)": lambda: PwlRankAssembler(8),
-        "STR-RANK(8)": lambda: StrRankAssembler(8),
-        "STR-RANK(6)": lambda: StrRankAssembler(6),
-        "STR-RANK(4)": lambda: StrRankAssembler(4),
-        "STR-RANK(2)": lambda: StrRankAssembler(2),
-        "STR-MED(4)": lambda: StrMedianAssembler(4),
-        "QSTR-MED(4)": lambda: QstrMedAssembler(4),
-    }
-    return registry[name]()
-
-
-@dataclass
-class MethodRow:
-    """One table row: a method and its extra-latency outcome."""
-
-    name: str
-    result: MethodResult
-    baseline: MethodResult
-
-    @property
-    def reduction_us(self) -> float:
-        return self.result.program_reduction_vs(self.baseline)
-
-    @property
-    def improvement_pct(self) -> float:
-        return self.result.program_improvement_vs(self.baseline)
-
-    @property
-    def erase_improvement_pct(self) -> float:
-        return self.result.erase_improvement_vs(self.baseline)
+    """Back-compat alias for :func:`repro.exp.make_assembler`."""
+    return make_assembler(name, seed=seed)
 
 
 def run_methods(
     pools: Sequence[LanePool], names: Sequence[str], seed: int = 1
 ) -> Tuple[MethodResult, Dict[str, MethodRow]]:
     """Evaluate methods against the random baseline on identical pools."""
-    baseline = evaluate_assembler(RandomAssembler(seed=seed), pools)
-    rows: Dict[str, MethodRow] = {}
-    for name in names:
-        result = evaluate_assembler(_assembler_for(name, seed), pools)
-        rows[name] = MethodRow(name=name, result=result, baseline=baseline)
-    return baseline, rows
+    evaluator = MethodEvaluator(pools, seed=seed)
+    return evaluator.result("RANDOM"), evaluator.rows(names)
 
 
 def table1_eight_directions(pools: Sequence[LanePool]) -> Tuple[MethodResult, Dict[str, MethodRow]]:

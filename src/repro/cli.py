@@ -10,8 +10,14 @@ experiments without writing code:
 * ``repro run``     — a traced run: same stack with the deterministic tracer
   attached, exporting Chrome/JSONL traces and a metrics summary;
 * ``repro obs report`` — summarize a recorded JSONL event log;
+* ``repro sweep``   — expand a parameter grid into independent cells and run
+  them in parallel with content-hash result caching (``repro.exp``);
 * ``repro overhead`` — the computing/space overhead numbers of Section VI;
 * ``repro lint``    — run the ``reprolint`` simulation-invariant checks.
+
+Every subcommand translates its argparse flags into a
+:class:`repro.exp.SimConfig` and builds through the one construction path,
+:func:`repro.exp.build_stack`.
 """
 
 from __future__ import annotations
@@ -22,8 +28,6 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis import (
     TABLE1_METHODS,
-    TestbedConfig,
-    build_testbed,
     fig5_characterization,
     fig6_random_extra,
     fig13_distributions,
@@ -34,7 +38,6 @@ from repro.analysis import (
     render_table2,
     render_table5,
     run_methods,
-    standard_pools,
     table2_window_sweep,
     table5_extra_latency,
 )
@@ -46,6 +49,7 @@ from repro.core import (
     str_med_pair_checks,
 )
 from repro.assembly import LanePool
+from repro.exp import DEFAULT_CACHE_DIR, SimConfig, build_stack
 from repro.nand import PAPER_GEOMETRY, FlashChip
 from repro.utils.units import TIB, format_bytes
 
@@ -59,10 +63,9 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
 def _build_pools(
     args: argparse.Namespace,
 ) -> Tuple[List[FlashChip], List[LanePool]]:
-    config = TestbedConfig(seed=args.seed, chips=args.chips, pool_blocks=args.blocks)
-    chips = build_testbed(config)
-    print(f"probing {args.chips} chips x {args.blocks} blocks ...", file=sys.stderr)
-    return chips, standard_pools(chips, args.blocks)
+    config = SimConfig.testbed(seed=args.seed, chips=args.chips, pool_blocks=args.blocks)
+    stack = build_stack(config, verbose=True)
+    return stack.chips, stack.pools()
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
@@ -135,72 +138,30 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_ssd(args: argparse.Namespace, tracer=None, registry=None):
-    """Build the simulated SSD stack ``replay``/``run`` share."""
-    from repro.ftl import Ftl, FtlConfig
-    from repro.nand import FlashChip, NandGeometry, VariationModel, VariationParams
-    from repro.obs import NULL_TRACER
-    from repro.ssd import Ssd, TimingConfig
-
-    geometry = NandGeometry(
-        planes_per_chip=1,
-        blocks_per_plane=args.blocks,
-        layers_per_block=24,
-        strings_per_layer=4,
-        bits_per_cell=3,
+def _device_config(
+    args: argparse.Namespace, requests: Optional[int] = None
+) -> SimConfig:
+    """Translate the ``replay``/``run`` argparse flags into a SimConfig."""
+    return SimConfig.device(
+        seed=args.seed,
+        chips=args.chips,
+        blocks=args.blocks,
+        allocator=args.allocator,
+        interarrival_us=args.interarrival_us,
+        requests=requests,
+        trace_path=getattr(args, "trace", None) if args.command == "replay" else None,
     )
-    model = VariationModel(
-        geometry, VariationParams(factory_bad_ratio=0.0), seed=args.seed
-    )
-    chips = [FlashChip(model.chip_profile(c), geometry) for c in range(args.chips)]
-    usable = max(12, args.blocks - 8)
-    # Keep real headroom between logical space and the GC watermarks, or a
-    # tightly-sized device grinds through GC for every host write.
-    overprovision = max(0.28, min(0.6, 6.0 / usable + 0.15))
-    ftl = Ftl(
-        chips,
-        FtlConfig(
-            usable_blocks_per_plane=usable,
-            overprovision_ratio=overprovision,
-            gc_low_watermark=2,
-            gc_high_watermark=4,
-        ),
-        allocator_kind=args.allocator,
-        tracer=NULL_TRACER if tracer is None else tracer,
-        registry=registry,
-    )
-    print("formatting ...", file=sys.stderr)
-    ftl.format()
-    return Ssd(ftl, TimingConfig())
-
-
-def _synthetic_requests(logical_pages: int, interarrival_us: float):
-    """The default fill + zipf-overwrite workload of ``replay``/``run``."""
-    from repro.workloads import ArrivalProcess, sequential_fill, zipf_writes
-
-    arrivals = ArrivalProcess(mean_interarrival_us=interarrival_us)
-    requests = sequential_fill(logical_pages, arrivals=arrivals, seed=1)
-    requests += zipf_writes(
-        logical_pages,
-        int(logical_pages * 0.7),
-        arrivals=arrivals,
-        seed=2,
-    )
-    return requests
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    from repro.workloads import Replayer, load_trace
+    from repro.workloads import Replayer
 
-    ssd = _build_ssd(args)
-    ftl = ssd.ftl
-    replayer = Replayer(ssd)
-    if args.trace:
-        requests = load_trace(args.trace)
-    else:
-        requests = _synthetic_requests(ftl.logical_pages, args.interarrival_us)
+    stack = build_stack(_device_config(args))
+    print("formatting ...", file=sys.stderr)
+    ftl = stack.ftl
+    requests = stack.requests()
     print(f"replaying {len(requests)} requests ...", file=sys.stderr)
-    report = replayer.replay(requests)
+    report = Replayer(stack.ssd).replay(requests)
     print(f"\nallocator: {args.allocator}")
     for op, summary in report.summary().items():
         print(
@@ -234,11 +195,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     tracer = Tracer()
     registry = MetricsRegistry()
-    ssd = _build_ssd(args, tracer=tracer, registry=registry)
+    stack = build_stack(
+        _device_config(args, requests=args.requests),
+        tracer=tracer,
+        registry=registry,
+    )
+    print("formatting ...", file=sys.stderr)
+    ssd = stack.ssd
     ftl = ssd.ftl
-    requests = _synthetic_requests(ftl.logical_pages, args.interarrival_us)
-    if args.requests is not None:
-        requests = requests[: args.requests]
+    requests = stack.requests()
     print(f"running {len(requests)} requests (traced) ...", file=sys.stderr)
     report = Replayer(ssd).replay(requests)
     print(f"\nallocator: {args.allocator}")
@@ -287,6 +252,98 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
 
     events = read_jsonl(args.trace)
     print(render_report(TraceSummary(events), offender_limit=args.limit))
+    return 0
+
+
+def _parse_axis_value(text: str) -> object:
+    """``--over`` values: int, then float, then bare string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _parse_axes(specs: Sequence[str]) -> List[Tuple[str, List[object]]]:
+    axes: List[Tuple[str, List[object]]] = []
+    for spec in specs:
+        name, sep, values = spec.partition("=")
+        if not sep or not name or not values:
+            raise SystemExit(f"repro sweep: bad --over {spec!r} (want AXIS=V1,V2,...)")
+        axes.append((name, [_parse_axis_value(v) for v in values.split(",")]))
+    return axes
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.exp import ResultCache, Sweep, default_cache_dir
+    from repro.exp import run as run_sweep
+    from repro.obs import MetricsRegistry
+
+    if args.preset == "device":
+        base = SimConfig.device(
+            seed=args.seed,
+            chips=args.chips,
+            blocks=args.blocks,
+            allocator=args.allocator,
+        )
+    else:
+        base = SimConfig.testbed(
+            seed=args.seed, chips=args.chips, pool_blocks=args.blocks
+        )
+    params = {}
+    if args.methods:
+        params["methods"] = args.methods.split(",")
+    sweep = Sweep(args.task, base=base, params=params)
+    try:
+        for name, values in _parse_axes(args.over):
+            sweep = sweep.over(name, values)
+    except ValueError as error:
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 2
+
+    cells = sweep.cells()
+    if args.dry_run:
+        print(f"task: {sweep.task}")
+        print(f"base config: {base.content_hash()}")
+        print(f"cells: {len(cells)}")
+        for cell in cells:
+            print(f"  [{cell.index:4d}] {cell.label():40s} config={cell.config_hash}")
+        return 0
+
+    cache = None
+    if args.cache_dir != "none":
+        cache = ResultCache(
+            Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+        )
+    registry = MetricsRegistry()
+    result = run_sweep(
+        sweep,
+        workers=args.workers,
+        cache=cache,
+        force=args.force,
+        registry=registry,
+        echo=lambda line: print(line, file=sys.stderr),
+    )
+    print(
+        f"sweep {sweep.task}: {len(result.cells)} cells, "
+        f"{result.cache_hits} cache hits, {result.cache_misses} misses "
+        f"(workers={args.workers})"
+    )
+    for item in result.cells:
+        print(f"  [{item.cell.index:4d}] {item.cell.label():40s} "
+              f"config={item.cell.config_hash} {'hit' if item.cached else 'run'}")
+    if args.manifest:
+        doc = result.manifest()
+        Path(args.manifest).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote sweep manifest: {args.manifest}", file=sys.stderr)
     return 0
 
 
@@ -400,6 +457,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=10, help="attribution rows to show"
     )
     obs_report.set_defaults(func=cmd_obs_report)
+
+    from repro.exp import TASKS
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter sweep in parallel with content-hash result caching",
+    )
+    sweep.add_argument("--task", choices=sorted(TASKS), default="methods")
+    sweep.add_argument(
+        "--preset",
+        choices=["testbed", "device"],
+        default="testbed",
+        help="base config: assembly-study testbed or replay/run device stack",
+    )
+    sweep.add_argument("--blocks", type=int, default=400, help="pool blocks per chip")
+    sweep.add_argument("--chips", type=int, default=4, help="chips (lanes)")
+    sweep.add_argument("--seed", type=int, default=2024, help="base root seed")
+    sweep.add_argument(
+        "--allocator",
+        choices=["qstr", "random", "sequential", "pgm_sorted"],
+        default="qstr",
+        help="device-preset allocator",
+    )
+    sweep.add_argument(
+        "--methods", help="comma-separated method names for the methods task"
+    )
+    sweep.add_argument(
+        "--over",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2,...",
+        help="add a sweep axis (repeatable); 'seed' derives per-cell seeds",
+    )
+    sweep.add_argument("--workers", type=int, default=1, help="process-pool size")
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default $REPRO_SWEEP_CACHE or "
+        f"{DEFAULT_CACHE_DIR}; 'none' disables caching)",
+    )
+    sweep.add_argument(
+        "--force", action="store_true", help="recompute even on cache hits"
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true", help="print the expanded grid and exit"
+    )
+    sweep.add_argument("--manifest", help="write the sweep manifest JSON here")
+    sweep.set_defaults(func=cmd_sweep)
 
     overhead = sub.add_parser("overhead", help="Section VI overhead numbers")
     overhead.add_argument("--window", type=int, default=4)

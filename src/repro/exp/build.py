@@ -1,0 +1,173 @@
+"""``build_stack(SimConfig) -> Stack`` — the one construction path.
+
+Historically the repo had two independent stack constructors: the CLI's
+``_build_ssd`` (argparse-coupled) and ``analysis.experiments.build_testbed``
+(assembly-study only).  Both now funnel through :func:`build_stack`, which
+turns a :class:`~repro.exp.config.SimConfig` into a :class:`Stack` exposing
+every level a caller might need — the probed chips, the assembly-study lane
+pools, and the full FTL+SSD device — built lazily so a pools-only cell never
+pays for an SSD format.
+
+Determinism contract: everything a :class:`Stack` produces is a pure
+function of its config (``repro.utils.rng.derive_seed`` discipline all the
+way down), so two builds of the same config — in any process, in any order —
+behave identically.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.assembly.base import LanePool
+from repro.assembly.pools import build_lane_pools
+from repro.exp.config import SimConfig
+from repro.ftl.config import FtlConfig
+from repro.ftl.ftl import Ftl
+from repro.nand.chip import FlashChip
+from repro.nand.geometry import NandGeometry
+from repro.nand.variation import VariationModel
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.ssd.device import Ssd
+from repro.workloads.model import Request
+
+
+def derived_ftl_config(geometry: NandGeometry) -> FtlConfig:
+    """FTL sizing derived from the managed block range (the CLI formula).
+
+    Keeps real headroom between logical space and the GC watermarks, or a
+    tightly-sized device grinds through GC for every host write.
+    """
+    usable = max(12, geometry.blocks_per_plane - 8)
+    overprovision = max(0.28, min(0.6, 6.0 / usable + 0.15))
+    return FtlConfig(
+        usable_blocks_per_plane=usable,
+        overprovision_ratio=overprovision,
+        gc_low_watermark=2,
+        gc_high_watermark=4,
+    )
+
+
+class Stack:
+    """One simulation stack: chips, lane pools and the SSD, per config.
+
+    ``chips`` is built eagerly (it is cheap and everything needs it); the
+    probed :meth:`pools` and the formatted :attr:`ssd` are built on first
+    use.  The tracer/registry passed at construction are threaded into the
+    FTL/SSD so traced and untraced stacks share one code path.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        tracer: Optional[NullTracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.registry = registry
+        model = VariationModel(config.geometry, config.variation, seed=config.seed)
+        self.chips: List[FlashChip] = [
+            FlashChip(model.chip_profile(chip_id), config.geometry)
+            for chip_id in range(config.chips)
+        ]
+        self._ssd: Optional[Ssd] = None
+
+    def pools(self) -> List[LanePool]:
+        """Probe the configured block range on every chip (one lane each).
+
+        When ``config.pe_cycles`` is set, every block is first worn to that
+        epoch — the Figure 15 re-probe-at-wear setup.
+        """
+        return build_lane_pools(
+            self.chips,
+            range(self.config.pool_blocks),
+            target_pe=self.config.pe_cycles,
+        )
+
+    @property
+    def ssd(self) -> Ssd:
+        """The formatted device (built and formatted on first access)."""
+        if self._ssd is None:
+            config = self.config
+            ftl_config = config.ftl if config.ftl is not None else derived_ftl_config(
+                config.geometry
+            )
+            ftl = Ftl(
+                self.chips,
+                ftl_config,
+                allocator_kind=config.allocator,
+                tracer=self.tracer,
+                registry=self.registry,
+            )
+            ftl.format()
+            self._ssd = Ssd(ftl, config.timing)
+        return self._ssd
+
+    @property
+    def ftl(self) -> Ftl:
+        return self.ssd.ftl
+
+    def requests(self) -> List[Request]:
+        """The configured host workload, sized to this stack's logical space."""
+        workload = self.config.workload
+        if workload.kind == "trace":
+            from repro.workloads.trace import load_trace
+
+            assert workload.trace_path is not None  # validated by the config
+            requests = load_trace(workload.trace_path)
+        else:
+            requests = synthetic_requests(
+                self.ftl.logical_pages,
+                interarrival_us=workload.interarrival_us,
+                overwrite_fraction=workload.overwrite_fraction,
+                fill_seed=workload.fill_seed,
+                overwrite_seed=workload.overwrite_seed,
+            )
+        if workload.requests is not None:
+            requests = requests[: workload.requests]
+        return requests
+
+
+def synthetic_requests(
+    logical_pages: int,
+    *,
+    interarrival_us: float = 8000.0,
+    overwrite_fraction: float = 0.7,
+    fill_seed: int = 1,
+    overwrite_seed: int = 2,
+) -> List[Request]:
+    """The default fill + zipf-overwrite workload of ``replay``/``run``."""
+    from repro.workloads.synthetic import ArrivalProcess, sequential_fill, zipf_writes
+
+    arrivals = ArrivalProcess(mean_interarrival_us=interarrival_us)
+    requests = sequential_fill(logical_pages, arrivals=arrivals, seed=fill_seed)
+    requests += zipf_writes(
+        logical_pages,
+        int(logical_pages * overwrite_fraction),
+        arrivals=arrivals,
+        seed=overwrite_seed,
+    )
+    return requests
+
+
+def build_stack(
+    config: SimConfig,
+    *,
+    tracer: Optional[NullTracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    verbose: bool = False,
+) -> Stack:
+    """Build the simulation stack for ``config``.
+
+    ``tracer``/``registry`` are injected into the FTL/SSD when the device
+    side of the stack is first touched; ``verbose`` narrates construction on
+    stderr (the CLI's historical behavior).
+    """
+    if verbose:
+        print(
+            f"probing {config.chips} chips x {config.pool_blocks} blocks ...",
+            file=sys.stderr,
+        )
+    return Stack(config, tracer=tracer, registry=registry)

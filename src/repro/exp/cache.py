@@ -1,0 +1,145 @@
+"""On-disk result cache for sweep cells.
+
+A cell's cache key is the SHA-256 of the canonical JSON of
+
+``{"task": <task name>, "salt": <code salt>, "config": SimConfig.to_dict(),
+   "params": <task params>}``
+
+so identical cells hit the same entry from any process, and any change to
+the config, the task parameters, or the task's declared source modules
+(the *code-version salt*) invalidates exactly the cells it affects.  Salt
+granularity is per task: a task declares the ``repro.*`` subpackages its
+result depends on, and :func:`code_salt` hashes those modules' source bytes
+— so editing an assembler re-runs assembly-evaluation cells but leaves,
+say, pure replay cells cached.
+
+Entries are one JSON file per cell, written atomically (temp file +
+``os.replace``) so concurrent sweeps sharing a cache directory never read
+torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.exp.config import SimConfig
+
+#: default cache root (relative to the working directory) when the
+#: ``REPRO_SWEEP_CACHE`` environment variable is unset.
+DEFAULT_CACHE_DIR = ".repro-cache/sweeps"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SWEEP_CACHE`` or :data:`DEFAULT_CACHE_DIR`."""
+    return Path(os.environ.get("REPRO_SWEEP_CACHE", DEFAULT_CACHE_DIR))
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively reduce a result to plain JSON types.
+
+    NumPy scalars become Python ``int``/``float`` (values preserved
+    exactly), tuples become lists — so cached results round-trip through
+    JSON bit-identically and serial/parallel runs return the same types.
+    """
+    if isinstance(value, Mapping):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        return to_jsonable(value.item())
+    raise TypeError(f"result value {value!r} is not JSON-serializable")
+
+
+def canonical_json(doc: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(to_jsonable(doc), sort_keys=True, separators=(",", ":"))
+
+
+def _module_files(module: str) -> List[Path]:
+    """The source files a dotted module name covers (packages recurse)."""
+    spec = importlib.util.find_spec(module)
+    if spec is None:
+        raise ValueError(f"cannot resolve module {module!r} for code salt")
+    if spec.submodule_search_locations:
+        files: List[Path] = []
+        for location in spec.submodule_search_locations:
+            files.extend(Path(location).rglob("*.py"))
+        return sorted(files)
+    if spec.origin is None:
+        raise ValueError(f"module {module!r} has no source file")
+    return [Path(spec.origin)]
+
+
+def code_salt(modules: Sequence[str]) -> str:
+    """Hash of the source bytes of ``modules`` (packages walk recursively).
+
+    Editing any covered file changes the salt, invalidating every cache
+    entry keyed under it.
+    """
+    digest = hashlib.sha256()
+    for module in sorted(set(modules)):
+        for path in _module_files(module):
+            digest.update(str(path.name).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def cell_key(
+    task: str, config: SimConfig, params: Mapping[str, Any], salt: str
+) -> str:
+    """The cache key of one cell (full-width hex SHA-256)."""
+    doc = {
+        "task": task,
+        "salt": salt,
+        "config": config.to_dict(),
+        "params": dict(params),
+    }
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """One directory of content-addressed cell results."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result for ``key``, or ``None`` on miss/corruption."""
+        path = self.path(key)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        result = doc.get("result")
+        return result if isinstance(result, dict) else None
+
+    def put(self, key: str, entry: Mapping[str, Any]) -> None:
+        """Atomically persist ``entry`` (must contain ``"result"``)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(to_jsonable(entry), sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            os.replace(tmp_name, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,292 @@
+"""Deterministic parallel sweep: grid expansion + cached execution.
+
+A :class:`Sweep` is a task name, a base :class:`SimConfig`, fixed task
+params, and an ordered list of axes.  ``sweep.over("seed", range(8))``
+style chaining expands (lazily) into the full cross-product of cells;
+:func:`run` executes them — serially or on a
+:class:`~concurrent.futures.ProcessPoolExecutor` — against the on-disk
+result cache.
+
+Determinism contract:
+
+* every cell is a pure function of its ``(config, params)``; the runner
+  never shares state between cells, so ``workers=1`` and ``workers=N``
+  produce bit-identical per-cell results in the same cell order;
+* a ``"seed"`` axis value ``v`` maps to the *derived* root seed
+  ``derive_seed(base.seed, "seed", v)`` — replicate streams are stable
+  whatever the worker count or completion order (use
+  ``base.with_(seed=...)`` for a literal seed);
+* any other axis naming a (dotted) :class:`SimConfig` field overrides that
+  field; remaining axes become per-cell task params (e.g. ``"methods"``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.exp.cache import ResultCache, cell_key, code_salt, to_jsonable
+from repro.exp.config import SimConfig
+from repro.exp.tasks import TASKS, Task
+from repro.obs.registry import MetricsRegistry
+from repro.utils.rng import derive_seed
+
+AxisValue = Any
+Coordinate = Tuple[str, AxisValue]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweep dimension: an axis name and its ordered values."""
+
+    name: str
+    values: Tuple[AxisValue, ...]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully resolved grid point."""
+
+    index: int
+    coords: Tuple[Coordinate, ...]
+    config: SimConfig
+    params: Dict[str, Any]
+
+    @property
+    def config_hash(self) -> str:
+        return self.config.content_hash()
+
+    def label(self) -> str:
+        """Human-readable coordinates, e.g. ``seed=3 pe_cycles=1000``."""
+        if not self.coords:
+            return "(base)"
+        return " ".join(f"{name}={value}" for name, value in self.coords)
+
+
+class Sweep:
+    """An immutable sweep description; ``over`` chains return new sweeps."""
+
+    def __init__(
+        self,
+        task: str,
+        base: Optional[SimConfig] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        axes: Sequence[Axis] = (),
+    ) -> None:
+        if task not in TASKS:
+            raise ValueError(f"unknown task {task!r} (known: {sorted(TASKS)})")
+        self.task = task
+        self.base = base if base is not None else SimConfig()
+        self.params: Dict[str, Any] = dict(params or {})
+        self.axes: Tuple[Axis, ...] = tuple(axes)
+
+    def over(self, name: str, values: Iterable[AxisValue]) -> "Sweep":
+        """A new sweep with one more axis (earlier axes vary slowest)."""
+        if any(axis.name == name for axis in self.axes):
+            raise ValueError(f"axis {name!r} already swept")
+        sequence = tuple(values)
+        if not sequence:
+            raise ValueError(f"axis {name!r} has no values")
+        return Sweep(
+            self.task, self.base, self.params, (*self.axes, Axis(name, sequence))
+        )
+
+    def __len__(self) -> int:
+        count = 1
+        for axis in self.axes:
+            count *= len(axis.values)
+        return count
+
+    def _resolve(self, config: SimConfig, name: str, value: AxisValue) -> SimConfig:
+        if name == "seed":
+            return config.with_(seed=derive_seed(self.base.seed, "seed", value))
+        if self.base.has_path(name):
+            return config.with_path(name, value)
+        raise KeyError(name)
+
+    def cells(self) -> List[Cell]:
+        """Expand the axis cross-product into ordered, resolved cells."""
+        expanded: List[Cell] = []
+        names = [axis.name for axis in self.axes]
+        for index, combo in enumerate(
+            itertools.product(*(axis.values for axis in self.axes))
+        ):
+            config = self.base
+            params = dict(self.params)
+            for name, value in zip(names, combo):
+                try:
+                    config = self._resolve(config, name, value)
+                except KeyError:
+                    params[name] = value
+            expanded.append(
+                Cell(
+                    index=index,
+                    coords=tuple(zip(names, combo)),
+                    config=config,
+                    params=params,
+                )
+            )
+        return expanded
+
+
+@dataclass
+class CellResult:
+    """One executed (or cache-served) cell."""
+
+    cell: Cell
+    result: Dict[str, Any]
+    cached: bool
+    key: str
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one sweep run, in grid order."""
+
+    task: str
+    salt: str
+    cells: List[CellResult]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for cell in self.cells if not cell.cached)
+
+    def column(self, path: str) -> List[Any]:
+        """Per-cell values at a dotted path into the result documents."""
+        return [dig(cell.result, path) for cell in self.cells]
+
+    def manifest(self) -> Dict[str, Any]:
+        """The JSON manifest the CLI writes (and CI uploads)."""
+        return {
+            "task": self.task,
+            "salt": self.salt,
+            "cell_count": len(self.cells),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cells": [
+                {
+                    "index": item.cell.index,
+                    "coords": [[name, value] for name, value in item.cell.coords],
+                    "config_hash": item.cell.config_hash,
+                    "key": item.key,
+                    "cached": item.cached,
+                    "result": item.result,
+                }
+                for item in self.cells
+            ],
+        }
+
+
+def dig(doc: Mapping[str, Any], path: str) -> Any:
+    """Fetch a dotted path out of a nested result document."""
+    node: Any = doc
+    for part in path.split("."):
+        node = node[part]
+    return node
+
+
+def _execute_cell(payload: Tuple[str, SimConfig, Dict[str, Any]]) -> Dict[str, Any]:
+    """Worker entry point: run one cell (top-level, hence picklable)."""
+    task_name, config, params = payload
+    task = TASKS[task_name]
+    result = task.fn(config, params)
+    jsonable: Dict[str, Any] = to_jsonable(result)
+    return jsonable
+
+
+def run(
+    sweep: Sweep,
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Execute every cell of ``sweep`` and return results in grid order.
+
+    ``cache`` (optional) serves unchanged cells from disk and persists
+    fresh ones; ``force`` recomputes even on hit.  ``workers > 1`` fans the
+    missing cells out over a process pool — results are bit-identical to a
+    serial run because cells share nothing.  Progress lands in ``registry``
+    counters (``sweep.cells`` / ``sweep.cache_hits`` / ``sweep.cache_misses``
+    / ``sweep.cells_done``) and, line by line, in ``echo``.
+    """
+    task: Task = TASKS[sweep.task]
+    salt = code_salt(task.modules)
+    cells = sweep.cells()
+    if registry is not None:
+        registry.counter("sweep.cells").inc(len(cells))
+    results: List[Optional[CellResult]] = [None] * len(cells)
+    pending: List[Tuple[Cell, str]] = []
+    for cell in cells:
+        key = cell_key(sweep.task, cell.config, cell.params, salt)
+        hit = cache.get(key) if (cache is not None and not force) else None
+        if hit is not None:
+            results[cell.index] = CellResult(cell=cell, result=hit, cached=True, key=key)
+            if registry is not None:
+                registry.counter("sweep.cache_hits").inc()
+                registry.counter("sweep.cells_done").inc()
+            if echo is not None:
+                echo(f"cell {cell.index + 1}/{len(cells)} [{cell.label()}] cached")
+        else:
+            pending.append((cell, key))
+            if registry is not None:
+                registry.counter("sweep.cache_misses").inc()
+
+    def finish(cell: Cell, key: str, result: Dict[str, Any]) -> None:
+        if cache is not None:
+            cache.put(
+                key,
+                {
+                    "task": sweep.task,
+                    "salt": salt,
+                    "config": cell.config.to_dict(),
+                    "params": cell.params,
+                    "result": result,
+                },
+            )
+        results[cell.index] = CellResult(cell=cell, result=result, cached=False, key=key)
+        if registry is not None:
+            registry.counter("sweep.cells_done").inc()
+        if echo is not None:
+            echo(f"cell {cell.index + 1}/{len(cells)} [{cell.label()}] done")
+
+    if pending:
+        payloads = [
+            (sweep.task, cell.config, cell.params) for cell, _ in pending
+        ]
+        if workers <= 1 or len(pending) == 1:
+            for (cell, key), payload in zip(pending, payloads):
+                finish(cell, key, _execute_cell(payload))
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                futures = {
+                    pool.submit(_execute_cell, payload): pending[i]
+                    for i, payload in enumerate(payloads)
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        cell, key = futures[future]
+                        finish(cell, key, future.result())
+    complete = [item for item in results if item is not None]
+    assert len(complete) == len(cells)
+    return SweepResult(task=sweep.task, salt=salt, cells=complete)

@@ -4,8 +4,9 @@ The simulator is layered as a DAG::
 
     utils → nand → characterization → assembly → core → ftl → ssd
         ↘ obs ————— (importable by core / ftl / ssd / …) ——————→ workloads
+                                                              → exp
                                                               → analysis
-                                                              → lint / cli
+                                                              → lint / cli / api
 
 Each entry in :data:`LAYER_DEPENDENCIES` names the subpackages a layer may
 import from (its own layer is always allowed).  ``characterization``,
@@ -13,7 +14,11 @@ import from (its own layer is always allowed).  ``characterization``,
 band the order is characterization < assembly < core, matching how signatures
 feed assemblers feed the placement core.  ``obs`` (tracing, histograms,
 metrics registry) sits directly above ``utils`` so every simulation layer
-from ``core`` up can emit into it without inverting the DAG.
+from ``core`` up can emit into it without inverting the DAG.  ``exp`` (the
+unified config / construction / sweep substrate) sits above ``workloads`` —
+it builds full device stacks and replays workloads through them — and below
+``analysis``, whose experiment drivers construct their testbeds through it.
+``repro.api`` is the top-level façade benchmarks and tools import from.
 
 :data:`LAYER_EXCEPTIONS` lists the few reviewed module-level edges that cross
 the map, each with a justification here rather than in the importing file.
@@ -40,9 +45,23 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
     "workloads": frozenset(
         {"obs", "ssd", "ftl", "core", "assembly", "characterization", "nand", "utils"}
     ),
+    "exp": frozenset(
+        {
+            "obs",
+            "workloads",
+            "ssd",
+            "ftl",
+            "core",
+            "assembly",
+            "characterization",
+            "nand",
+            "utils",
+        }
+    ),
     "analysis": frozenset(
         {
             "obs",
+            "exp",
             "workloads",
             "ssd",
             "ftl",
@@ -58,7 +77,7 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
 
 #: top-level aggregator modules allowed to import from any layer.
 TOP_LEVEL_MODULES: FrozenSet[str] = frozenset(
-    {"repro", "repro.cli", "repro.__main__"}
+    {"repro", "repro.api", "repro.cli", "repro.__main__"}
 )
 
 #: (importing subpackage, imported dotted target below ``repro.``) pairs that

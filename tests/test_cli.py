@@ -172,6 +172,74 @@ class TestRunCommand:
         assert "mp_program" in out
 
 
+class TestSweepCommand:
+    SMALL = ["--blocks", "10", "--chips", "2", "--seed", "3"]
+
+    def test_dry_run_prints_expanded_grid(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.SMALL,
+                    "--over", "seed=0,1,2",
+                    "--over", "pe_cycles=0,1000",
+                    "--dry-run",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "task: methods" in out
+        assert "cells: 6" in out
+        assert "seed=0 pe_cycles=1000" in out
+        # every cell line carries its config content hash
+        assert out.count("config=") == 6
+
+    def test_bad_axis_spec_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--over", "seed", "--dry-run"])
+
+    def test_duplicate_axis_exits_two(self, capsys):
+        assert main(["sweep", "--over", "seed=1", "--over", "seed=2", "--dry-run"]) == 2
+        assert "already swept" in capsys.readouterr().err
+
+    def test_run_twice_second_all_cache_hits(self, capsys, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        argv = [
+            "sweep",
+            *self.SMALL,
+            "--methods", "SEQUENTIAL",
+            "--over", "seed=0,1",
+            "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(manifest),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 cells, 0 cache hits, 2 misses" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 cells, 2 cache hits, 0 misses" in second
+
+        doc = json.loads(manifest.read_text())
+        assert doc["cell_count"] == 2
+        assert doc["cache_hits"] == 2
+        assert doc["cache_misses"] == 0
+        results = [cell["result"] for cell in doc["cells"]]
+        assert all("SEQUENTIAL" in r["methods"] for r in results)
+
+    def test_no_cache_mode(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            *self.SMALL,
+            "--methods", "SEQUENTIAL",
+            "--cache-dir", "none",
+        ]
+        assert main(argv) == 0
+        assert "1 cells, 0 cache hits, 1 misses" in capsys.readouterr().out
+
+
 class TestLintCommand:
     def test_lint_clean_repo_exits_zero(self, capsys):
         assert main(["lint", "src", "benchmarks", "examples", "tools"]) == 0

@@ -13,20 +13,23 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.assembly import (
+from repro.api import (
+    build_lane_pools,
     ErsLatencyAssembler,
+    evaluate_assembler,
+    FlashChip,
     LwlRankAssembler,
     OptimalAssembler,
+    PAPER_GEOMETRY,
     PgmLatencyAssembler,
+    PwlRankAssembler,
     RandomAssembler,
     SequentialAssembler,
     StrMedianAssembler,
     StrRankAssembler,
-    PwlRankAssembler,
-    build_lane_pools,
-    evaluate_assembler,
+    VariationModel,
+    VariationParams,
 )
-from repro.nand import PAPER_GEOMETRY, FlashChip, VariationModel, VariationParams
 
 PAPER_IMPROVEMENT = {
     "sequential": 10.45,
