@@ -50,6 +50,7 @@ from repro.core import (
 )
 from repro.assembly import LanePool
 from repro.exp import DEFAULT_CACHE_DIR, SimConfig, build_stack
+from repro.ftl import OutOfSpaceError
 from repro.nand import PAPER_GEOMETRY, FlashChip
 from repro.utils.units import TIB, format_bytes
 
@@ -142,7 +143,7 @@ def _device_config(
     args: argparse.Namespace, requests: Optional[int] = None
 ) -> SimConfig:
     """Translate the ``replay``/``run`` argparse flags into a SimConfig."""
-    return SimConfig.device(
+    config = SimConfig.device(
         seed=args.seed,
         chips=args.chips,
         blocks=args.blocks,
@@ -151,6 +152,56 @@ def _device_config(
         requests=requests,
         trace_path=getattr(args, "trace", None) if args.command == "replay" else None,
     )
+    return _apply_fault_args(config, args)
+
+
+def _apply_fault_args(config: SimConfig, args: argparse.Namespace) -> SimConfig:
+    """Fold the optional ``--faults``/``--repair`` flags into ``config``.
+
+    Both default to "absent", in which case the config is returned
+    untouched — the fault-free path must build the exact historical
+    stack, byte for byte.
+    """
+    spec = getattr(args, "faults", None)
+    if spec:
+        from repro.faults import FaultPlan
+
+        try:
+            config = config.with_(faults=FaultPlan.from_spec(spec))
+        except (ValueError, OSError) as error:
+            print(f"repro: bad --faults {spec!r}: {error}", file=sys.stderr)
+            raise SystemExit(2) from error
+    repair = getattr(args, "repair", None)
+    if repair is not None:
+        import dataclasses
+
+        from repro.exp.build import derived_ftl_config
+
+        ftl_config = config.ftl
+        if ftl_config is None:
+            ftl_config = derived_ftl_config(config.geometry)
+        config = config.with_(
+            ftl=dataclasses.replace(ftl_config, repair_policy=repair)
+        )
+    return config
+
+
+def _out_of_space(args: argparse.Namespace, error: Exception) -> int:
+    """Clean exit when the device runs out of free blocks mid-workload.
+
+    Fault injection retires blocks (and can purge whole planes), so a
+    heavy-enough schedule legitimately exhausts a lane — that is a
+    capacity verdict, not a crash worth a traceback.
+    """
+    print(f"repro: device out of space: {error}", file=sys.stderr)
+    if getattr(args, "faults", None):
+        print(
+            "repro: the fault schedule retired more capacity than the "
+            "overprovisioning could absorb; lower the fault rates or "
+            "raise --blocks",
+            file=sys.stderr,
+        )
+    return 1
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -161,7 +212,10 @@ def cmd_replay(args: argparse.Namespace) -> int:
     ftl = stack.ftl
     requests = stack.requests()
     print(f"replaying {len(requests)} requests ...", file=sys.stderr)
-    report = Replayer(stack.ssd).replay(requests)
+    try:
+        report = Replayer(stack.ssd).replay(requests)
+    except OutOfSpaceError as error:
+        return _out_of_space(args, error)
     print(f"\nallocator: {args.allocator}")
     for op, summary in report.summary().items():
         print(
@@ -205,7 +259,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     ftl = ssd.ftl
     requests = stack.requests()
     print(f"running {len(requests)} requests (traced) ...", file=sys.stderr)
-    report = Replayer(ssd).replay(requests)
+    try:
+        report = Replayer(ssd).replay(requests)
+    except OutOfSpaceError as error:
+        return _out_of_space(args, error)
     print(f"\nallocator: {args.allocator}")
     for op, op_summary in report.summary().items():
         print(
@@ -220,6 +277,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         "gc_runs",
     ):
         print(f"  {key}: {metrics[key]:,.2f}")
+    # Fault keys exist only when injection actually bit (see
+    # FtlMetrics.faults_active), so fault-free stdout is unchanged.
+    if "program_failures" in metrics:
+        print("  -- faults --")
+        for key in (
+            "program_failures",
+            "erase_failures",
+            "sb_repairs",
+            "superblocks_degraded",
+            "plane_purges",
+            "repair_copy_mean_us",
+            "post_repair_extra_mean_us",
+        ):
+            print(f"  {key}: {metrics[key]:,.2f}")
     trace_summary = TraceSummary(tracer.events)
     print()
     print(render_report(trace_summary))
@@ -296,6 +367,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base = SimConfig.testbed(
             seed=args.seed, chips=args.chips, pool_blocks=args.blocks
         )
+    base = _apply_fault_args(base, args)
     params = {}
     if args.methods:
         params["methods"] = args.methods.split(",")
@@ -329,22 +401,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         force=args.force,
         registry=registry,
         echo=lambda line: print(line, file=sys.stderr),
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
     )
+    failures = result.failures
+    tail = f", {failures} FAILED" if failures else ""
     print(
         f"sweep {sweep.task}: {len(result.cells)} cells, "
         f"{result.cache_hits} cache hits, {result.cache_misses} misses "
-        f"(workers={args.workers})"
+        f"(workers={args.workers}){tail}"
     )
     for item in result.cells:
+        state = "FAILED" if item.failed else ("hit" if item.cached else "run")
         print(f"  [{item.cell.index:4d}] {item.cell.label():40s} "
-              f"config={item.cell.config_hash} {'hit' if item.cached else 'run'}")
+              f"config={item.cell.config_hash} {state}")
+        if item.failed:
+            print(
+                f"         {item.result['error_type']}: {item.result['message']} "
+                f"(after {item.result['attempts']} attempt(s))"
+            )
     if args.manifest:
         doc = result.manifest()
         Path(args.manifest).write_text(
             json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         print(f"wrote sweep manifest: {args.manifest}", file=sys.stderr)
-    return 0
+    return 1 if failures else 0
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
@@ -445,6 +527,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--blocks", type=int, default=48)
     run.add_argument("--chips", type=int, default=4)
     run.add_argument("--seed", type=int, default=2024)
+    run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject faults: 'program=P,erase=P' rates or '@plan.json'",
+    )
+    run.add_argument(
+        "--repair",
+        choices=["qstr", "random"],
+        default=None,
+        help="superblock repair policy after a retired member (default qstr)",
+    )
     run.set_defaults(func=cmd_run)
 
     obs = sub.add_parser("obs", help="observability utilities")
@@ -491,6 +584,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="add a sweep axis (repeatable); 'seed' derives per-cell seeds",
     )
     sweep.add_argument("--workers", type=int, default=1, help="process-pool size")
+    sweep.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="base-config fault plan: 'program=P,erase=P' or '@plan.json'",
+    )
+    sweep.add_argument(
+        "--repair",
+        choices=["qstr", "random"],
+        default=None,
+        help="base-config superblock repair policy",
+    )
+    sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds allowed per cell before it is retried/failed",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a raising/timed-out cell this many times (seed-stable backoff)",
+    )
     sweep.add_argument(
         "--cache-dir",
         default=None,

@@ -55,6 +55,7 @@ class QstrMedScheme:
         self._catalogs: Dict[int, BlockCatalog] = {
             lane: BlockCatalog(lane) for lane in lanes
         }
+        self.candidate_depth = candidate_depth
         self._assembler = OnDemandAssembler(
             list(self._catalogs.values()), candidate_depth
         )
@@ -151,6 +152,23 @@ class QstrMedScheme:
         self._gathering.abandon_block(lane, plane, block)
         self._pending.pop(key, None)
         self._in_use.pop(key, None)
+
+    def take_free_block(self, record: BlockRecord) -> None:
+        """Remove one specific free block from its catalog and mark it in use.
+
+        Used by superblock repair: the FTL drafted this record as a spare,
+        so it leaves the free pool outside the normal assembly path.
+        """
+        self._catalogs[record.lane].remove(record)
+        self._in_use[record.key()] = record
+
+    def purge_plane(self, lane: int, plane: int) -> int:
+        """Drop every free block of a dead plane; returns how many."""
+        catalog = self._catalogs[lane]
+        doomed = [record for record in catalog if record.plane == plane]
+        for record in doomed:
+            catalog.remove(record)
+        return len(doomed)
 
     # -- footprint (Section VI-D1) ----------------------------------------------------
 

@@ -45,6 +45,7 @@ from repro.exp.sweep import (
     Axis,
     Cell,
     CellResult,
+    CellTimeoutError,
     Sweep,
     SweepResult,
     dig,
@@ -73,6 +74,7 @@ __all__ = [
     "Axis",
     "Cell",
     "CellResult",
+    "CellTimeoutError",
     "SweepResult",
     "run",
     "dig",

@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.assembly.base import LanePool
 from repro.assembly.pools import build_lane_pools
 from repro.exp.config import SimConfig
+from repro.faults.injector import make_injector
 from repro.ftl.config import FtlConfig
 from repro.ftl.ftl import Ftl
 from repro.nand.chip import FlashChip
@@ -68,8 +69,14 @@ class Stack:
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.registry = registry
         model = VariationModel(config.geometry, config.variation, seed=config.seed)
+        # make_injector returns the shared null object for a null/absent
+        # plan, so fault-free stacks are bit-identical to historical ones.
         self.chips: List[FlashChip] = [
-            FlashChip(model.chip_profile(chip_id), config.geometry)
+            FlashChip(
+                model.chip_profile(chip_id),
+                config.geometry,
+                injector=make_injector(config.faults, config.seed, chip_id),
+            )
             for chip_id in range(config.chips)
         ]
         self._ssd: Optional[Ssd] = None
@@ -94,10 +101,15 @@ class Stack:
             ftl_config = config.ftl if config.ftl is not None else derived_ftl_config(
                 config.geometry
             )
+            # The FTL seed feeds the allocator and repair RNG streams.  It
+            # is only passed when fault injection is active: the historical
+            # fault-free stack always used the default, and changing that
+            # would perturb byte-identical replay outputs.
             ftl = Ftl(
                 self.chips,
                 ftl_config,
                 allocator_kind=config.allocator,
+                seed=config.seed if config.faults is not None else 0,
                 tracer=self.tracer,
                 registry=self.registry,
             )

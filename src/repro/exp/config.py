@@ -26,6 +26,7 @@ import typing
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Type, TypeVar, Union
 
+from repro.faults.plan import FaultPlan
 from repro.ftl.config import FtlConfig
 from repro.nand.geometry import PAPER_GEOMETRY, NandGeometry
 from repro.nand.variation import VariationParams
@@ -91,6 +92,9 @@ class SimConfig:
     ftl: Optional[FtlConfig] = None
     timing: TimingConfig = field(default_factory=TimingConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: fault-injection schedule; ``None`` (and the null plan, which is
+    #: normalized to ``None``) means the fault-free fast path.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.chips < 2:
@@ -101,6 +105,10 @@ class SimConfig:
             raise ValueError("pe_cycles must be >= 0")
         if self.allocator not in ALLOCATOR_KINDS:
             raise ValueError(f"allocator must be one of {ALLOCATOR_KINDS}")
+        if self.faults is not None and self.faults.is_null:
+            # Normalize so config equality, serialization and content
+            # hashes cannot distinguish "no plan" from "an empty plan".
+            object.__setattr__(self, "faults", None)
 
     # -- presets -----------------------------------------------------------
 
@@ -186,8 +194,16 @@ class SimConfig:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """A plain JSON-serializable dict (nested dataclasses become dicts)."""
-        return dataclasses.asdict(self)
+        """A plain JSON-serializable dict (nested dataclasses become dicts).
+
+        The ``faults`` key is omitted entirely when no plan is set, so
+        fault-free configs serialize — and content-hash — exactly as they
+        did before fault injection existed.
+        """
+        data = dataclasses.asdict(self)
+        if data.get("faults") is None:
+            data.pop("faults", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimConfig":

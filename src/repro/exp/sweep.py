@@ -23,7 +23,11 @@ Determinism contract:
 from __future__ import annotations
 
 import itertools
+import signal
+import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -143,12 +147,18 @@ class Sweep:
 
 @dataclass
 class CellResult:
-    """One executed (or cache-served) cell."""
+    """One executed (or cache-served) cell.
+
+    ``failed`` marks a structured failure row (the cell's task raised or
+    timed out on every attempt); its ``result`` then carries the error
+    shape from :func:`_failure_row` instead of task output.
+    """
 
     cell: Cell
     result: Dict[str, Any]
     cached: bool
     key: str
+    failed: bool = False
 
 
 @dataclass
@@ -167,30 +177,43 @@ class SweepResult:
     def cache_misses(self) -> int:
         return sum(1 for cell in self.cells if not cell.cached)
 
+    @property
+    def failures(self) -> int:
+        return sum(1 for cell in self.cells if cell.failed)
+
     def column(self, path: str) -> List[Any]:
         """Per-cell values at a dotted path into the result documents."""
         return [dig(cell.result, path) for cell in self.cells]
 
     def manifest(self) -> Dict[str, Any]:
-        """The JSON manifest the CLI writes (and CI uploads)."""
-        return {
+        """The JSON manifest the CLI writes (and CI uploads).
+
+        The ``failures`` count (and per-cell ``failed`` markers) appear
+        only when a cell actually failed, so clean-run manifests stay
+        byte-identical to pre-fault-layer ones.
+        """
+        doc: Dict[str, Any] = {
             "task": self.task,
             "salt": self.salt,
             "cell_count": len(self.cells),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
-            "cells": [
+        }
+        if self.failures:
+            doc["failures"] = self.failures
+        doc["cells"] = [
                 {
                     "index": item.cell.index,
                     "coords": [[name, value] for name, value in item.cell.coords],
                     "config_hash": item.cell.config_hash,
                     "key": item.key,
                     "cached": item.cached,
+                    **({"failed": True} if item.failed else {}),
                     "result": item.result,
                 }
                 for item in self.cells
-            ],
-        }
+            ]
+        return doc
 
 
 def dig(doc: Mapping[str, Any], path: str) -> Any:
@@ -201,13 +224,63 @@ def dig(doc: Mapping[str, Any], path: str) -> Any:
     return node
 
 
-def _execute_cell(payload: Tuple[str, SimConfig, Dict[str, Any]]) -> Dict[str, Any]:
-    """Worker entry point: run one cell (top-level, hence picklable)."""
-    task_name, config, params = payload
+class CellTimeoutError(Exception):
+    """A cell exceeded its per-cell wall-clock budget."""
+
+
+def _execute_cell(payload: Tuple[Any, ...]) -> Dict[str, Any]:
+    """Worker entry point: run one cell (top-level, hence picklable).
+
+    The optional fourth payload element is a wall-clock timeout in
+    seconds, enforced via ``SIGALRM`` where available (POSIX main thread —
+    which is exactly where pool workers run task functions).  Elsewhere
+    the timeout degrades to "no timeout" rather than failing the cell.
+    """
+    task_name, config, params = payload[:3]
+    timeout = payload[3] if len(payload) > 3 else None
     task = TASKS[task_name]
-    result = task.fn(config, params)
+    use_alarm = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        def _on_alarm(signum: int, frame: Any) -> None:
+            raise CellTimeoutError(f"cell exceeded {float(timeout):.1f}s budget")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, float(timeout))
+        try:
+            result = task.fn(config, params)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    else:
+        result = task.fn(config, params)
     jsonable: Dict[str, Any] = to_jsonable(result)
     return jsonable
+
+
+def _failure_row(error: BaseException, attempts: int) -> Dict[str, Any]:
+    """The structured result recorded for a cell that exhausted retries."""
+    return {
+        "failed": True,
+        "error_type": type(error).__name__,
+        "message": str(error),
+        "attempts": attempts,
+    }
+
+
+def _retry_backoff_s(base_seed: int, cell_index: int, attempt: int) -> float:
+    """Seed-stable backoff before retry ``attempt`` of one cell.
+
+    Exponential in the attempt number with a deterministic per-cell
+    jitter drawn from the ``derive_seed`` stream — every rerun of the
+    same sweep waits the same amount, so retry schedules never introduce
+    machine-local nondeterminism into logs or traces.
+    """
+    jitter = derive_seed(base_seed, "sweep", "retry", cell_index, attempt) % 1000
+    return min(2.0, 0.05 * (2 ** (attempt - 1)) * (1.0 + jitter / 1000.0))
 
 
 def run(
@@ -218,6 +291,8 @@ def run(
     force: bool = False,
     registry: Optional[MetricsRegistry] = None,
     echo: Optional[Callable[[str], None]] = None,
+    cell_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> SweepResult:
     """Execute every cell of ``sweep`` and return results in grid order.
 
@@ -227,7 +302,18 @@ def run(
     serial run because cells share nothing.  Progress lands in ``registry``
     counters (``sweep.cells`` / ``sweep.cache_hits`` / ``sweep.cache_misses``
     / ``sweep.cells_done``) and, line by line, in ``echo``.
+
+    Robustness: ``cell_timeout`` bounds each cell's wall-clock seconds,
+    and a raising (or timed-out) cell is retried up to ``retries`` times
+    with seed-stable exponential backoff.  A cell that exhausts its
+    attempts records a structured failure row (never cached, flagged in
+    the manifest) instead of killing the sweep, and a broken process
+    pool downgrades the remaining cells to serial execution.
     """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ValueError("cell_timeout must be positive")
     task: Task = TASKS[sweep.task]
     salt = code_salt(task.modules)
     cells = sweep.cells()
@@ -250,8 +336,12 @@ def run(
             if registry is not None:
                 registry.counter("sweep.cache_misses").inc()
 
-    def finish(cell: Cell, key: str, result: Dict[str, Any]) -> None:
-        if cache is not None:
+    def finish(
+        cell: Cell, key: str, result: Dict[str, Any], *, failed: bool = False
+    ) -> None:
+        # Failure rows are never persisted: a later run with the bug (or
+        # flake) gone must recompute the cell, not replay the failure.
+        if cache is not None and not failed:
             cache.put(
                 key,
                 {
@@ -262,31 +352,108 @@ def run(
                     "result": result,
                 },
             )
-        results[cell.index] = CellResult(cell=cell, result=result, cached=False, key=key)
+        results[cell.index] = CellResult(
+            cell=cell, result=result, cached=False, key=key, failed=failed
+        )
         if registry is not None:
             registry.counter("sweep.cells_done").inc()
+            if failed:
+                registry.counter("sweep.cell_failures").inc()
         if echo is not None:
-            echo(f"cell {cell.index + 1}/{len(cells)} [{cell.label()}] done")
+            state = "FAILED" if failed else "done"
+            echo(f"cell {cell.index + 1}/{len(cells)} [{cell.label()}] {state}")
 
+    def payload_for(cell: Cell) -> Tuple[Any, ...]:
+        return (sweep.task, cell.config, cell.params, cell_timeout)
+
+    def run_serially(cell: Cell, key: str) -> None:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = _execute_cell(payload_for(cell))
+            except Exception as error:  # noqa: BLE001 — converted to a row
+                if attempts <= retries:
+                    if echo is not None:
+                        echo(
+                            f"cell {cell.index + 1}/{len(cells)} "
+                            f"[{cell.label()}] {type(error).__name__}; "
+                            f"retry {attempts}/{retries}"
+                        )
+                    time.sleep(_retry_backoff_s(sweep.base.seed, cell.index, attempts))
+                    continue
+                finish(cell, key, _failure_row(error, attempts), failed=True)
+                return
+            finish(cell, key, result)
+            return
+
+    serial_cells: List[Tuple[Cell, str]] = []
     if pending:
-        payloads = [
-            (sweep.task, cell.config, cell.params) for cell, _ in pending
-        ]
         if workers <= 1 or len(pending) == 1:
-            for (cell, key), payload in zip(pending, payloads):
-                finish(cell, key, _execute_cell(payload))
+            serial_cells = list(pending)
         else:
-            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-                futures = {
-                    pool.submit(_execute_cell, payload): pending[i]
-                    for i, payload in enumerate(payloads)
-                }
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        cell, key = futures[future]
-                        finish(cell, key, future.result())
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending))
+                ) as pool:
+                    futures = {
+                        pool.submit(_execute_cell, payload_for(cell)): (cell, key)
+                        for cell, key in pending
+                    }
+                    attempts = {cell.index: 1 for cell, _ in pending}
+                    remaining = set(futures)
+                    while remaining:
+                        done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            cell, key = futures.pop(future)
+                            try:
+                                result = future.result()
+                            except BrokenProcessPool:
+                                raise
+                            except Exception as error:  # noqa: BLE001
+                                made = attempts[cell.index]
+                                if made <= retries:
+                                    attempts[cell.index] = made + 1
+                                    if echo is not None:
+                                        echo(
+                                            f"cell {cell.index + 1}/{len(cells)} "
+                                            f"[{cell.label()}] "
+                                            f"{type(error).__name__}; "
+                                            f"retry {made}/{retries}"
+                                        )
+                                    time.sleep(
+                                        _retry_backoff_s(
+                                            sweep.base.seed, cell.index, made
+                                        )
+                                    )
+                                    retry = pool.submit(
+                                        _execute_cell, payload_for(cell)
+                                    )
+                                    futures[retry] = (cell, key)
+                                    remaining.add(retry)
+                                else:
+                                    finish(
+                                        cell,
+                                        key,
+                                        _failure_row(error, made),
+                                        failed=True,
+                                    )
+                            else:
+                                finish(cell, key, result)
+            except BrokenProcessPool:
+                # A worker died hard (OOM-kill, segfault in a native lib).
+                # Cells are pure functions of their payloads, so the safe
+                # degradation is to finish the unfinished ones in-process.
+                serial_cells = [
+                    item for item in pending if results[item[0].index] is None
+                ]
+                if echo is not None:
+                    echo(
+                        f"process pool broke; running {len(serial_cells)} "
+                        "remaining cell(s) serially"
+                    )
+    for cell, key in serial_cells:
+        run_serially(cell, key)
     complete = [item for item in results if item is not None]
     assert len(complete) == len(cells)
     return SweepResult(task=sweep.task, salt=salt, cells=complete)

@@ -83,6 +83,7 @@ DEFAULT_METHODS: Tuple[str, ...] = (
     "methods",
     modules=(
         "repro.utils",
+        "repro.faults",
         "repro.nand",
         "repro.characterization",
         "repro.assembly",
@@ -118,6 +119,7 @@ def methods_task(config: SimConfig, params: Dict[str, Any]) -> Dict[str, Any]:
     modules=(
         "repro.utils",
         "repro.obs",
+        "repro.faults",
         "repro.nand",
         "repro.characterization",
         "repro.assembly",

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the simulated NAND stack.
+
+The package sits *below* ``nand`` in the layer DAG: chips accept a
+:class:`~repro.faults.injector.FaultInjector` and consult it on every
+program/erase/read, while the default :data:`~repro.faults.injector.NULL_INJECTOR`
+short-circuits every hook so the fault-free path stays byte-identical to a
+build without this package.
+
+Fault *plans* (:class:`~repro.faults.plan.FaultPlan`) are frozen, picklable
+and JSON-round-trippable so they can live inside ``exp.SimConfig``, be
+content-hashed, and swept like any other parameter.  All probabilistic
+draws come from ``derive_seed`` streams — two runs with the same seed
+inject the same faults at the same operations.
+"""
+
+from repro.faults.plan import (
+    KIND_ERASE_FAIL,
+    KIND_PLANE_OUTAGE,
+    KIND_PROGRAM_FAIL,
+    KIND_READ_STORM,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    NullInjector,
+    make_injector,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "NullInjector",
+    "NULL_INJECTOR",
+    "make_injector",
+    "KIND_PROGRAM_FAIL",
+    "KIND_ERASE_FAIL",
+    "KIND_READ_STORM",
+    "KIND_PLANE_OUTAGE",
+]

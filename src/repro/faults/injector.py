@@ -1,0 +1,201 @@
+"""Per-chip fault injectors.
+
+A :class:`FaultInjector` is consulted by :class:`repro.nand.chip.FlashChip`
+on every program, erase and read.  It owns one per-chip operation counter
+per fault kind, the pending scheduled events for that chip, and (only when
+the plan has nonzero probabilities) ``derive_seed``-derived RNG streams —
+one per fault kind, so adding erase faults never perturbs the program-fault
+stream.
+
+The default :data:`NULL_INJECTOR` answers every query with the benign
+constant and performs no RNG draws and no bookkeeping, which keeps the
+fault-free simulation byte-identical to one built before this package
+existed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.faults.plan import (
+    KIND_ERASE_FAIL,
+    KIND_PLANE_OUTAGE,
+    KIND_PROGRAM_FAIL,
+    KIND_READ_STORM,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.utils.rng import derive_seed
+
+
+class NullInjector:
+    """The disabled injector: every hook is a constant-time no-op."""
+
+    __slots__ = ()
+
+    enabled: bool = False
+
+    def advance(self, now_us: float) -> None:
+        """Move simulated time forward; no-op here."""
+
+    def fail_program(self, plane: int, block: int) -> bool:
+        return False
+
+    def fail_erase(self, plane: int, block: int) -> bool:
+        return False
+
+    def read_rber_multiplier(self, plane: int, block: int) -> float:
+        return 1.0
+
+    def plane_dead(self, plane: int) -> bool:
+        return False
+
+
+class FaultInjector(NullInjector):
+    """Deterministic per-chip fault source driven by a :class:`FaultPlan`."""
+
+    __slots__ = (
+        "plan",
+        "chip_id",
+        "_now_us",
+        "_program_ops",
+        "_erase_ops",
+        "_read_ops",
+        "_total_ops",
+        "_pending",
+        "_dead_planes",
+        "_storm_remaining",
+        "_storm_multiplier",
+        "_program_rng",
+        "_erase_rng",
+        "injected_program_fails",
+        "injected_erase_fails",
+        "injected_read_storms",
+        "injected_plane_outages",
+    )
+
+    enabled: bool = True
+
+    def __init__(self, plan: FaultPlan, seed: int, chip_id: int) -> None:
+        self.plan = plan
+        self.chip_id = int(chip_id)
+        self._now_us = 0.0
+        self._program_ops = 0
+        self._erase_ops = 0
+        self._read_ops = 0
+        self._total_ops = 0
+        self._pending: List[FaultEvent] = list(plan.events_for_chip(self.chip_id))
+        self._dead_planes: set = set()
+        self._storm_remaining = 0
+        self._storm_multiplier = 1.0
+        # One independent stream per fault kind, only when it can ever draw.
+        self._program_rng: Optional[np.random.Generator] = (
+            np.random.default_rng(derive_seed(seed, "faults", self.chip_id, "program"))
+            if plan.program_fail_prob > 0.0
+            else None
+        )
+        self._erase_rng: Optional[np.random.Generator] = (
+            np.random.default_rng(derive_seed(seed, "faults", self.chip_id, "erase"))
+            if plan.erase_fail_prob > 0.0
+            else None
+        )
+        self.injected_program_fails = 0
+        self.injected_erase_fails = 0
+        self.injected_read_storms = 0
+        self.injected_plane_outages = 0
+
+    # -- clock -------------------------------------------------------------
+
+    def advance(self, now_us: float) -> None:
+        if now_us > self._now_us:
+            self._now_us = now_us
+
+    # -- scheduled-event matching ------------------------------------------
+
+    def _take_event(
+        self, kind: str, op_index: int, plane: int, block: Optional[int]
+    ) -> Optional[FaultEvent]:
+        """Pop and return the first pending event matching this operation."""
+        for i, event in enumerate(self._pending):
+            if event.kind != kind:
+                continue
+            if event.at_op is not None and event.at_op != op_index:
+                continue
+            if event.at_time_us is not None and self._now_us < event.at_time_us:
+                continue
+            if event.plane is not None and event.plane != plane:
+                continue
+            if event.block is not None and block is not None and event.block != block:
+                continue
+            del self._pending[i]
+            return event
+        return None
+
+    def _check_outages(self, plane: int) -> None:
+        event = self._take_event(KIND_PLANE_OUTAGE, self._total_ops, plane, None)
+        if event is not None:
+            self._dead_planes.add(event.plane)
+            self.injected_plane_outages += 1
+
+    # -- chip hooks --------------------------------------------------------
+
+    def fail_program(self, plane: int, block: int) -> bool:
+        op = self._program_ops
+        self._program_ops += 1
+        self._total_ops += 1
+        self._check_outages(plane)
+        if self._take_event(KIND_PROGRAM_FAIL, op, plane, block) is not None:
+            self.injected_program_fails += 1
+            return True
+        if self._program_rng is not None and bool(
+            self._program_rng.random() < self.plan.program_fail_prob
+        ):
+            self.injected_program_fails += 1
+            return True
+        return False
+
+    def fail_erase(self, plane: int, block: int) -> bool:
+        op = self._erase_ops
+        self._erase_ops += 1
+        self._total_ops += 1
+        self._check_outages(plane)
+        if self._take_event(KIND_ERASE_FAIL, op, plane, block) is not None:
+            self.injected_erase_fails += 1
+            return True
+        if self._erase_rng is not None and bool(
+            self._erase_rng.random() < self.plan.erase_fail_prob
+        ):
+            self.injected_erase_fails += 1
+            return True
+        return False
+
+    def read_rber_multiplier(self, plane: int, block: int) -> float:
+        op = self._read_ops
+        self._read_ops += 1
+        self._total_ops += 1
+        self._check_outages(plane)
+        event = self._take_event(KIND_READ_STORM, op, plane, block)
+        if event is not None:
+            self._storm_remaining = event.duration_ops
+            self._storm_multiplier = event.rber_multiplier
+            self.injected_read_storms += 1
+        if self._storm_remaining > 0:
+            self._storm_remaining -= 1
+            return self._storm_multiplier
+        return 1.0
+
+    def plane_dead(self, plane: int) -> bool:
+        return plane in self._dead_planes
+
+
+#: The process-wide disabled injector every chip defaults to.
+NULL_INJECTOR = NullInjector()
+
+
+def make_injector(plan: Optional[FaultPlan], seed: int, chip_id: int) -> NullInjector:
+    """An injector for one chip — the shared null object for null plans."""
+    if plan is None or plan.is_null:
+        return NULL_INJECTOR
+    return FaultInjector(plan, seed, chip_id)

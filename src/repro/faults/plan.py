@@ -1,0 +1,184 @@
+"""Fault plans: frozen, picklable schedules of injected NAND faults.
+
+A :class:`FaultPlan` combines *probabilistic* faults (per-operation failure
+probabilities, drawn from ``derive_seed`` streams inside the injector) with
+*scheduled* :class:`FaultEvent` entries that fire at a fixed operation count
+or simulated time on a specific chip (optionally narrowed to one plane or
+block).  Plans are value objects: they serialize to canonical dicts, hash
+into ``SimConfig.content_hash()``, and survive pickling into sweep workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+KIND_PROGRAM_FAIL = "program_fail"
+KIND_ERASE_FAIL = "erase_fail"
+KIND_READ_STORM = "read_storm"
+KIND_PLANE_OUTAGE = "plane_outage"
+
+#: Every fault kind a :class:`FaultEvent` may carry.
+EVENT_KINDS = (
+    KIND_PROGRAM_FAIL,
+    KIND_ERASE_FAIL,
+    KIND_READ_STORM,
+    KIND_PLANE_OUTAGE,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    The trigger is the conjunction of every condition that is set:
+    ``at_op`` matches the per-kind operation counter of the target chip
+    (programs for ``program_fail``, erases for ``erase_fail``, reads for
+    ``read_storm``; ``plane_outage`` uses the chip's total op count), and
+    ``at_time_us`` arms the event only once simulated time has reached it
+    (it then fires on the *first* matching operation).  ``plane``/``block``
+    narrow the target; ``None`` means "any".
+    """
+
+    kind: str
+    chip: int
+    plane: Optional[int] = None
+    block: Optional[int] = None
+    at_op: Optional[int] = None
+    at_time_us: Optional[float] = None
+    #: read-storm only: how many subsequent reads see the elevated RBER.
+    duration_ops: int = 0
+    #: read-storm only: multiplier applied to the page's raw bit-error rate.
+    rber_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.chip < 0:
+            raise ValueError("chip must be >= 0")
+        if self.at_op is None and self.at_time_us is None:
+            raise ValueError(f"{self.kind} event needs at_op and/or at_time_us")
+        if self.at_op is not None and self.at_op < 0:
+            raise ValueError("at_op must be >= 0")
+        if self.at_time_us is not None and self.at_time_us < 0:
+            raise ValueError("at_time_us must be >= 0")
+        if self.kind == KIND_READ_STORM:
+            if self.duration_ops <= 0:
+                raise ValueError("read_storm needs duration_ops > 0")
+            if self.rber_multiplier < 1.0:
+                raise ValueError("read_storm rber_multiplier must be >= 1")
+        if self.kind == KIND_PLANE_OUTAGE and self.plane is None:
+            raise ValueError("plane_outage needs an explicit plane")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict; ``None``/default fields are kept for stability."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown FaultEvent fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+def _coerce_events(raw: Any) -> Tuple[FaultEvent, ...]:
+    events = []
+    for item in raw:
+        if isinstance(item, FaultEvent):
+            events.append(item)
+        elif isinstance(item, Mapping):
+            events.append(FaultEvent.from_dict(item))
+        else:
+            raise TypeError(f"cannot build FaultEvent from {type(item).__name__}")
+    return tuple(events)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full injection schedule for one simulation.
+
+    ``program_fail_prob``/``erase_fail_prob`` inject i.i.d. status failures
+    per program/erase operation from a per-chip ``derive_seed`` stream;
+    ``events`` adds the scheduled faults.  The default plan is *null*: no
+    probabilities, no events, and the injector built from it performs zero
+    RNG draws, keeping fault-free runs byte-identical.
+    """
+
+    program_fail_prob: float = 0.0
+    erase_fail_prob: float = 0.0
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.program_fail_prob < 1.0:
+            raise ValueError("program_fail_prob must be in [0, 1)")
+        if not 0.0 <= self.erase_fail_prob < 1.0:
+            raise ValueError("erase_fail_prob must be in [0, 1)")
+        object.__setattr__(self, "events", _coerce_events(self.events))
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The null plan (the implicit default everywhere)."""
+        return cls()
+
+    @property
+    def is_null(self) -> bool:
+        # Truthiness, not float equality: the defaults are the exact
+        # literal 0.0, never a computed value.
+        return (
+            not self.program_fail_prob
+            and not self.erase_fail_prob
+            and not self.events
+        )
+
+    def events_for_chip(self, chip_id: int) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.chip == chip_id)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "program_fail_prob": self.program_fail_prob,
+            "erase_fail_prob": self.erase_fail_prob,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI spec.
+
+        ``@path.json`` loads a full plan from a JSON file; otherwise the
+        spec is comma-separated ``key=value`` pairs with keys ``program``
+        and ``erase`` (per-op failure probabilities), e.g.
+        ``program=0.01,erase=0.005``.
+        """
+        spec = spec.strip()
+        if not spec:
+            raise ValueError("empty fault spec")
+        if spec.startswith("@"):
+            with open(spec[1:], "r", encoding="utf-8") as fh:
+                return cls.from_dict(json.load(fh))
+        kwargs: Dict[str, float] = {}
+        keymap = {"program": "program_fail_prob", "erase": "erase_fail_prob"}
+        for part in spec.split(","):
+            if "=" not in part:
+                raise ValueError(f"bad fault spec fragment {part!r} (want key=value)")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in keymap:
+                raise ValueError(
+                    f"unknown fault spec key {key!r} (want program/erase, or @file.json)"
+                )
+            kwargs[keymap[key]] = float(value)
+        return cls(**kwargs)

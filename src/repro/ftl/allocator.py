@@ -19,6 +19,7 @@ from repro.core.assembler import SpeedClass
 from repro.core.placement import DEFAULT_POLICY, PlacementPolicy
 from repro.core.records import BlockRecord
 from repro.core.scheme import QstrMedScheme
+from repro.ftl.repair import DEFAULT_REPAIR_DEPTH, choose_similar, speed_candidates
 from repro.nand.geometry import NandGeometry
 from repro.obs.registry import MetricsRegistry
 from repro.utils.rng import derive_seed
@@ -55,6 +56,25 @@ class BlockAllocator(ABC):
     @abstractmethod
     def on_block_retired(self, lane: int, plane: int, block: int) -> None:
         """A block wore out; drop it permanently."""
+
+    @abstractmethod
+    def draft_spare(
+        self,
+        lane: int,
+        speed_class: SpeedClass,
+        survivors: Sequence[BlockRecord],
+        policy: str,
+        rng: "np.random.Generator",
+    ) -> BlockRecord:
+        """Take one free block from ``lane`` to repair a damaged superblock.
+
+        ``policy`` is ``random`` (any free block) or ``qstr`` (speed-class
+        + eigen-similarity matched against the surviving members).
+        """
+
+    @abstractmethod
+    def purge_plane(self, lane: int, plane: int) -> int:
+        """Drop every free block of a dead plane; returns how many."""
 
     def min_free(self) -> int:
         return min(self.free_count(lane) for lane in self.lanes)
@@ -120,6 +140,34 @@ class QstrAllocator(BlockAllocator):
     def on_block_retired(self, lane: int, plane: int, block: int) -> None:
         self.scheme.note_block_retired(lane, plane, block)
 
+    def draft_spare(
+        self,
+        lane: int,
+        speed_class: SpeedClass,
+        survivors: Sequence[BlockRecord],
+        policy: str,
+        rng: "np.random.Generator",
+    ) -> BlockRecord:
+        catalog = self.scheme.catalog(lane)
+        pool = list(catalog)
+        if not pool:
+            raise AllocationError(f"lane {lane} has no free blocks for repair")
+        if policy == "random":
+            record = pool[int(rng.integers(len(pool)))]
+        else:
+            depth = min(self.scheme.candidate_depth, len(pool))
+            candidates = (
+                catalog.head_candidates(depth)
+                if speed_class is SpeedClass.FAST
+                else catalog.tail_candidates(depth)
+            )
+            record = choose_similar(candidates, survivors)
+        self.scheme.take_free_block(record)
+        return record
+
+    def purge_plane(self, lane: int, plane: int) -> int:
+        return self.scheme.purge_plane(lane, plane)
+
     def metadata_bytes(self) -> int:
         return self.scheme.metadata_bytes()
 
@@ -182,6 +230,35 @@ class SimpleAllocator(BlockAllocator):
 
     def on_block_retired(self, lane: int, plane: int, block: int) -> None:
         self._in_use.pop((lane, plane, block), None)
+
+    def draft_spare(
+        self,
+        lane: int,
+        speed_class: SpeedClass,
+        survivors: Sequence[BlockRecord],
+        policy: str,
+        rng: "np.random.Generator",
+    ) -> BlockRecord:
+        pool = self._free[lane]
+        if not pool:
+            raise AllocationError(f"lane {lane} has no free blocks for repair")
+        if policy == "random":
+            record = pool[int(rng.integers(len(pool)))]
+        else:
+            depth = min(DEFAULT_REPAIR_DEPTH, len(pool))
+            record = choose_similar(
+                speed_candidates(pool, speed_class, depth), survivors
+            )
+        pool.remove(record)
+        self._in_use[record.key()] = record
+        return record
+
+    def purge_plane(self, lane: int, plane: int) -> int:
+        pool = self._free[lane]
+        keep = [record for record in pool if record.plane != plane]
+        purged = len(pool) - len(keep)
+        self._free[lane] = keep
+        return purged
 
 
 def make_allocator(

@@ -13,7 +13,9 @@ refresh at runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.assembler import SpeedClass
 from repro.core.gathering import GatheringUnit
@@ -29,8 +31,10 @@ from repro.ftl.wear_leveling import WearLeveler
 from repro.ftl.writebuffer import BufferedPage, WriteBuffer, WriteStream
 from repro.nand.chip import FlashChip
 from repro.nand.errors import EnduranceExceededError, UncorrectableReadError
+from repro.nand.geometry import PageType
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.utils.rng import derive_seed
 
 
 class OutOfSpaceError(Exception):
@@ -41,13 +45,20 @@ class IntegrityError(Exception):
     """A read returned a payload that does not match its logical page."""
 
 
+class RepairExhaustedError(Exception):
+    """Superblock repair gave up: every drafted spare kept failing."""
+
+
 @dataclass(frozen=True)
 class FlushReport:
     """Outcome of programming one super word-line.
 
     ``lane_latencies_us`` holds each member's own program latency in lane
     order; ``slowest_lane_index``/``fastest_lane_index`` name the members
-    whose gap is the extra latency the paper studies.
+    whose gap is the extra latency the paper studies.  ``repair_us`` (lane
+    order, empty when nothing failed) is the extra time a lane spent
+    retiring a failed member and copying survivors onto a drafted spare
+    before this super word-line could complete.
     """
 
     superblock_id: int
@@ -57,6 +68,8 @@ class FlushReport:
     extra_us: float
     speed_class: SpeedClass
     lane_latencies_us: Tuple[float, ...] = ()
+    repairs: int = 0
+    repair_us: Tuple[float, ...] = ()
 
     @property
     def slowest_lane_index(self) -> int:
@@ -140,6 +153,10 @@ class Ftl:
         self._formatted = False
         self._in_gc = False
         self._in_wear_rotation = False
+        # Spare drafting for the random repair policy; draws nothing unless
+        # a member actually fails, so fault-free runs are unaffected.
+        self._repair_rng = np.random.default_rng(derive_seed(seed, "ftl", "repair"))
+        self._dead_planes: Set[Tuple[int, int]] = set()
         self.predictor: Optional[SuperpagePredictor] = (
             SuperpagePredictor(self.geometry, self.lanes)
             if config.superpage_steering
@@ -174,15 +191,25 @@ class Ftl:
                     if chip.is_bad(plane, block):
                         continue
                     try:
-                        chip.erase_block(plane, block)
+                        if not chip.erase_block(plane, block).ok:
+                            # injected erase failure: the block is grown-bad
+                            # before it ever entered service
+                            continue
                         gatherer.open_block(lane, plane, block, chip.pe_cycles(plane, block))
                         record: Optional[BlockRecord] = None
                         latencies: List[float] = []
                         for lwl in range(self.geometry.lwls_per_block):
-                            latency = chip.program_wordline(plane, block, lwl).latency_us
-                            latencies.append(latency)
-                            record = gatherer.report(lane, plane, block, lwl, latency)
-                        chip.erase_block(plane, block)
+                            result = chip.program_wordline(plane, block, lwl)
+                            if not result.ok:
+                                record = None
+                                break
+                            latencies.append(result.latency_us)
+                            record = gatherer.report(
+                                lane, plane, block, lwl, result.latency_us
+                            )
+                        if record is None or not chip.erase_block(plane, block).ok:
+                            gatherer.abandon_block(lane, plane, block)
+                            continue
                     except EnduranceExceededError:
                         gatherer.abandon_block(lane, plane, block)
                         continue
@@ -354,11 +381,33 @@ class Ftl:
                 payload_by_lane[parity_index][page_type] = ("PARITY", row)
 
         latencies: List[float] = []
-        for lane_index, record in enumerate(sb.members):
+        repair_us: List[float] = [0.0] * sb.lane_count
+        repairs_before = sb.repairs
+        for lane_index in range(sb.lane_count):
+            record = sb.members[lane_index]
             chip = self.chips[record.lane]
             result = chip.program_wordline(
                 record.plane, record.block, lwl, payload_by_lane[lane_index]
             )
+            attempts = 0
+            while not result.ok:
+                # Program-status failure: retire the member, repair the
+                # superblock with a drafted spare, and retry this super
+                # word-line's program on the fresh block.
+                self.metrics.program_failures += 1
+                self._note_fault("program_fail", record, lwl)
+                attempts += 1
+                if attempts > self.config.max_repair_attempts:
+                    raise RepairExhaustedError(
+                        f"superblock {sb.sb_id} lane {lane_index}: program "
+                        f"still failing after {attempts - 1} repairs"
+                    )
+                repair_us[lane_index] += self._repair_member(sb, lane_index, lwl)
+                record = sb.members[lane_index]
+                chip = self.chips[record.lane]
+                result = chip.program_wordline(
+                    record.plane, record.block, lwl, payload_by_lane[lane_index]
+                )
             latencies.append(result.latency_us)
             self.allocator.on_wordline_programmed(
                 record.lane, record.plane, record.block, lwl, result.latency_us
@@ -369,6 +418,11 @@ class Ftl:
                 )
         completion = max(latencies)
         extra = completion - min(latencies)
+        swl_repairs = sb.repairs - repairs_before
+        if sb.repairs:
+            # Extra latency of every super word-line on a repaired
+            # superblock — the degradation the repair policy controls.
+            self.metrics.post_repair_extra_us.add(extra)
 
         host_pages = sum(1 for page in batch if page.source is not WriteSource.GC)
         gc_pages = len(batch) - host_pages
@@ -400,6 +454,8 @@ class Ftl:
             extra_us=extra,
             speed_class=speed_class,
             lane_latencies_us=tuple(latencies),
+            repairs=swl_repairs,
+            repair_us=tuple(repair_us) if swl_repairs else (),
         )
 
     def _trace_flush(
@@ -459,6 +515,216 @@ class Ftl:
             },
             lane_latencies_us=[round(value, 3) for value in latencies],
         )
+
+    # -- fault handling / superblock repair ------------------------------------------------
+
+    def _note_fault(
+        self, kind: str, record: BlockRecord, lwl: Optional[int] = None
+    ) -> None:
+        """Record an observed media fault; degrade if its plane went dark."""
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault_injected",
+                "ftl.fault",
+                track="ftl",
+                kind=kind,
+                chip=record.lane,
+                plane=record.plane,
+                block=record.block,
+                lwl=lwl,
+            )
+        chip = self.chips[record.lane]
+        key = (record.lane, record.plane)
+        if chip.injector.plane_dead(record.plane) and key not in self._dead_planes:
+            # Whole-plane outage: stop handing out the plane's free blocks
+            # so repair never drafts a spare that is guaranteed to fail.
+            self._dead_planes.add(key)
+            purged = self.allocator.purge_plane(record.lane, record.plane)
+            self.metrics.plane_purges += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "degraded_mode",
+                    "ftl.fault",
+                    track="ftl",
+                    reason="plane_outage",
+                    chip=record.lane,
+                    plane=record.plane,
+                    purged_free_blocks=purged,
+                )
+
+    def _repair_member(
+        self, sb: ManagedSuperblock, lane_index: int, upto_lwl: int
+    ) -> float:
+        """Swap a failed member for a drafted spare; returns the µs charged.
+
+        The failed block is retired (grown bad), a spare is drafted from
+        the same lane under ``config.repair_policy``, the already-programmed
+        word-lines ``0..upto_lwl-1`` are copied onto it (the failed block
+        stays readable, with parity as the fallback), and the superblock's
+        member table is patched in place so slot geometry never changes.
+        """
+        failed = sb.members[lane_index]
+        failed_chip = self.chips[failed.lane]
+        failed_chip.retire_block(failed.plane, failed.block)
+        self.allocator.on_block_retired(failed.lane, failed.plane, failed.block)
+        self.metrics.blocks_retired += 1
+        survivors = [
+            sb.members[i] for i in range(sb.lane_count) if i != lane_index
+        ]
+        total_us = 0.0
+        for _ in range(self.config.max_repair_attempts):
+            try:
+                spare = self.allocator.draft_spare(
+                    failed.lane,
+                    sb.speed_class,
+                    survivors,
+                    self.config.repair_policy,
+                    self._repair_rng,
+                )
+            except AllocationError as error:
+                raise OutOfSpaceError(str(error)) from error
+            spare_chip = self.chips[spare.lane]
+            self.allocator.on_block_allocated(
+                spare.lane,
+                spare.plane,
+                spare.block,
+                spare_chip.pe_cycles(spare.plane, spare.block),
+            )
+            copied, copy_us = self._copy_back(sb, lane_index, failed, spare, upto_lwl)
+            total_us += copy_us
+            if not copied:
+                # The spare itself failed while being filled: retire it and
+                # draft another (bounded by max_repair_attempts).
+                self.metrics.program_failures += 1
+                self._note_fault("program_fail", spare)
+                spare_chip.retire_block(spare.plane, spare.block)
+                self.allocator.on_block_retired(spare.lane, spare.plane, spare.block)
+                self.metrics.blocks_retired += 1
+                continue
+            sb.replace_member(lane_index, spare)
+            self.metrics.sb_repairs += 1
+            self.metrics.repair_copy_us.add(copy_us)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "sb_repaired",
+                    "ftl.fault",
+                    track="ftl",
+                    superblock=sb.sb_id,
+                    lane_index=lane_index,
+                    policy=self.config.repair_policy,
+                    failed={
+                        "chip": failed.lane,
+                        "plane": failed.plane,
+                        "block": failed.block,
+                    },
+                    spare={
+                        "chip": spare.lane,
+                        "plane": spare.plane,
+                        "block": spare.block,
+                    },
+                    copied_lwls=upto_lwl,
+                    copy_us=round(copy_us, 3),
+                )
+            return total_us
+        raise RepairExhaustedError(
+            f"superblock {sb.sb_id} lane {lane_index}: no usable spare after "
+            f"{self.config.max_repair_attempts} attempts"
+        )
+
+    def _copy_back(
+        self,
+        sb: ManagedSuperblock,
+        lane_index: int,
+        failed: BlockRecord,
+        spare: BlockRecord,
+        upto_lwl: int,
+    ) -> Tuple[bool, float]:
+        """Copy word-lines ``0..upto_lwl-1`` of the failed member to the spare.
+
+        Returns ``(completed, µs)``.  Word-lines program in ascending order
+        so the spare ends ready to take the retried super word-line at
+        ``upto_lwl``.  Unreadable pages of a data lane fall back to parity
+        reconstruction; a failed parity lane is rebuilt from the data rows.
+        """
+        spare_chip = self.chips[spare.lane]
+        total_us = 0.0
+        is_parity_lane = sb.parity and lane_index == sb.parity_lane_index
+        per_swl = sb.pages_per_superwl
+        for lwl in range(upto_lwl):
+            data: Dict[PageType, object] = {}
+            for page_index, page_type in enumerate(self.geometry.page_types):
+                if is_parity_lane:
+                    payload, read_us = self._read_or_rebuild_parity(
+                        sb, failed, lwl, page_type
+                    )
+                else:
+                    payload, read_us = self._read_member_page(
+                        sb, lane_index, failed, lwl, page_type, page_index, per_swl
+                    )
+                total_us += read_us
+                if payload is not None:
+                    data[page_type] = payload
+            result = spare_chip.program_wordline(spare.plane, spare.block, lwl, data)
+            total_us += result.latency_us
+            if not result.ok:
+                return False, total_us
+            self.allocator.on_wordline_programmed(
+                spare.lane, spare.plane, spare.block, lwl, result.latency_us
+            )
+            if self.predictor is not None:
+                self.predictor.observe(
+                    spare.lane, lwl, result.latency_us, spare.eigen[lwl]
+                )
+        return True, total_us
+
+    def _read_member_page(
+        self,
+        sb: ManagedSuperblock,
+        lane_index: int,
+        failed: BlockRecord,
+        lwl: int,
+        page_type: PageType,
+        page_index: int,
+        per_swl: int,
+    ) -> Tuple[object, float]:
+        """Read one data page off a retired member, via parity if needed."""
+        chip = self.chips[failed.lane]
+        try:
+            result, payload = chip.read_page(failed.plane, failed.block, lwl, page_type)
+            return payload, result.latency_us
+        except UncorrectableReadError as error:
+            if not sb.parity:
+                raise
+            slot_index = lwl * per_swl + page_index * sb.data_lane_count + lane_index
+            location = SlotLocation(
+                lane_index=lane_index, lwl=lwl, page_type=page_type
+            )
+            return self._reconstruct(
+                sb, location, slot_index, wasted_us=error.latency_us
+            )
+
+    def _read_or_rebuild_parity(
+        self, sb: ManagedSuperblock, failed: BlockRecord, lwl: int, page_type: PageType
+    ) -> Tuple[object, float]:
+        """Read one parity page off a retired member, or rebuild its row."""
+        chip = self.chips[failed.lane]
+        try:
+            result, payload = chip.read_page(failed.plane, failed.block, lwl, page_type)
+            return payload, result.latency_us
+        except UncorrectableReadError as error:
+            # Re-derive the row from the data lanes (reads run in parallel
+            # across chips, so their cost is the maximum).
+            latencies = []
+            row = []
+            for index in range(sb.data_lane_count):
+                peer = sb.members[index]
+                peer_chip = self.chips[peer.lane]
+                peer_result, peer_payload = peer_chip.read_page(
+                    peer.plane, peer.block, lwl, page_type
+                )
+                latencies.append(peer_result.latency_us)
+                row.append(peer_payload)
+            return ("PARITY", tuple(row)), error.latency_us + max(latencies)
 
     # -- read path -----------------------------------------------------------------------
 
@@ -649,16 +915,47 @@ class Ftl:
         # Erase every member; completion is the slowest erase (MP semantics).
         latencies: List[float] = []
         survivors: List[BlockRecord] = []
+        lost: List[BlockRecord] = []
         for record in victim.members:
             chip = self.chips[record.lane]
             try:
-                latencies.append(
-                    chip.erase_block(record.plane, record.block).latency_us
-                )
-                survivors.append(record)
+                result = chip.erase_block(record.plane, record.block)
             except EnduranceExceededError:
                 self.allocator.on_block_retired(record.lane, record.plane, record.block)
                 self.metrics.blocks_retired += 1
+                lost.append(record)
+                continue
+            if not result.ok:
+                # Injected erase-status failure (or a dead plane): the
+                # member is grown-bad and leaves the pool like a worn-out
+                # block would.
+                self.metrics.erase_failures += 1
+                self._note_fault("erase_fail", record)
+                chip.retire_block(record.plane, record.block)
+                self.allocator.on_block_retired(record.lane, record.plane, record.block)
+                self.metrics.blocks_retired += 1
+                lost.append(record)
+                continue
+            latencies.append(result.latency_us)
+            survivors.append(record)
+        if lost:
+            # The superblock is being dismantled anyway, but the lane pool
+            # shrank permanently: account for it instead of dropping the
+            # members silently.
+            self.metrics.superblocks_degraded += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "degraded_mode",
+                    "ftl.fault",
+                    track="ftl",
+                    reason="member_lost_on_erase",
+                    superblock=victim.sb_id,
+                    lost=[
+                        {"chip": r.lane, "plane": r.plane, "block": r.block}
+                        for r in lost
+                    ],
+                    surviving_members=len(survivors),
+                )
         if latencies:
             self.metrics.erase_us.add(max(latencies))
             if len(latencies) > 1:

@@ -44,6 +44,34 @@ class FtlMetrics:
     blocks_retired: int = 0
     parity_reconstructions: int = 0
 
+    # -- fault handling (all zero unless fault injection is active) --------
+    program_failures: int = 0  # program-status FAILs the flush path absorbed
+    erase_failures: int = 0  # erase-status FAILs observed while reclaiming
+    sb_repairs: int = 0  # members swapped for drafted spares
+    superblocks_degraded: int = 0  # superblocks that lost a member at erase
+    plane_purges: int = 0  # free pools purged after a plane outage
+    # copy-back cost of each repair, and the MP extra latency of every
+    # super word-line programmed on an already-repaired superblock — the
+    # quantity the qstr-vs-random repair experiment compares.
+    repair_copy_us: LatencyStat = field(default_factory=LatencyStat)
+    post_repair_extra_us: LatencyStat = field(default_factory=LatencyStat)
+
+    @property
+    def faults_active(self) -> bool:
+        """Whether any *injected* fault was absorbed.
+
+        Gates the extra summary keys; deliberately excludes
+        ``superblocks_degraded``, which natural wear-out can bump in a
+        fault-free run — those summaries must stay byte-identical to
+        builds without the fault layer.
+        """
+        return bool(
+            self.program_failures
+            or self.erase_failures
+            or self.sb_repairs
+            or self.plane_purges
+        )
+
     def record_stream_write(self, stream: str, completion_us: float) -> None:
         """Track one superpage program completion under its stream label."""
         stats = self.stream_write_us.get(stream)
@@ -109,5 +137,18 @@ class FtlMetrics:
         for name in sorted(self.stream_write_us):
             out[f"stream_{name}_write_mean_us"] = mean_or_zero(
                 self.stream_write_us[name]
+            )
+        # Fault keys appear only when injection actually bit: fault-free
+        # summaries stay byte-identical to builds without the fault layer.
+        if self.faults_active:
+            out["program_failures"] = float(self.program_failures)
+            out["erase_failures"] = float(self.erase_failures)
+            out["sb_repairs"] = float(self.sb_repairs)
+            out["superblocks_degraded"] = float(self.superblocks_degraded)
+            out["plane_purges"] = float(self.plane_purges)
+            out["repair_copy_mean_us"] = mean_or_zero(self.repair_copy_us)
+            out["post_repair_extra_mean_us"] = mean_or_zero(self.post_repair_extra_us)
+            out["post_repair_extra_p99_us"] = quantile_or_zero(
+                self.post_repair_extra_us, 0.99
             )
         return out

@@ -1,0 +1,57 @@
+"""Superblock repair policies: how to draft a spare for a retired member.
+
+When a member block fails (program/erase status failure or wear-out) the
+FTL drafts a replacement from the failed lane's free pool.  The *choice*
+re-opens the paper's assembly problem in miniature: a speed-mismatched
+spare re-inflates the superblock's MP extra latency for every remaining
+super word-line.  Two policies are provided:
+
+* ``random`` — the conventional-firmware baseline: any free block.
+* ``qstr``   — PV-aware: restrict to the ``candidate_depth`` blocks whose
+  speed class matches the superblock (head of the latency-sorted pool for
+  FAST, tail for SLOW), then pick the one most eigen-similar to the
+  surviving members — the same similarity criterion
+  :class:`repro.core.assembler.OnDemandAssembler` uses at assembly time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.assembler import SpeedClass
+from repro.core.records import BlockRecord
+
+REPAIR_POLICIES: Tuple[str, ...] = ("qstr", "random")
+
+#: Candidate depth used when the allocator has no configured depth of its own.
+DEFAULT_REPAIR_DEPTH = 4
+
+
+def speed_candidates(
+    records: Sequence[BlockRecord], speed_class: SpeedClass, depth: int
+) -> Sequence[BlockRecord]:
+    """The ``depth`` records whose total program latency matches the class."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    ordered = sorted(records, key=lambda r: (r.pgm_total_us, r.key()))
+    if speed_class is SpeedClass.FAST:
+        return ordered[:depth]
+    return ordered[-depth:]
+
+
+def choose_similar(
+    candidates: Sequence[BlockRecord], survivors: Sequence[BlockRecord]
+) -> BlockRecord:
+    """The candidate with the lowest total eigen distance to the survivors.
+
+    Ties break on total program latency then physical address, so the
+    choice is deterministic regardless of candidate ordering.
+    """
+    if not candidates:
+        raise ValueError("no candidates to choose from")
+
+    def score(record: BlockRecord) -> Tuple[int, float, Tuple[int, int, int]]:
+        distance = sum(record.distance_to(peer) for peer in survivors)
+        return (distance, record.pgm_total_us, record.key())
+
+    return min(candidates, key=score)

@@ -64,6 +64,8 @@ class ManagedSuperblock:
         self._geometry = geometry
         self.state = SbState.OPEN
         self.next_slot = 0
+        #: how many members were swapped for spares after a media failure
+        self.repairs = 0
 
     # -- geometry -------------------------------------------------------------
 
@@ -129,6 +131,31 @@ class ManagedSuperblock:
         slots = list(range(self.next_slot, self.next_slot + count))
         self.next_slot += count
         return slots
+
+    def replace_member(self, lane_index: int, record: BlockRecord) -> BlockRecord:
+        """Swap one member for a freshly drafted spare; returns the old one.
+
+        Only an OPEN superblock can be repaired: a sealed one is read-only,
+        so a failed member there is handled by GC-reclaiming the whole
+        superblock instead.  The spare must live on the same lane so the
+        slot -> (lane, LWL, page type) geometry is unchanged.
+        """
+        if self.state is not SbState.OPEN:
+            raise SuperblockStateError(
+                f"superblock {self.sb_id} is {self.state.value}; repair needs OPEN"
+            )
+        if not 0 <= lane_index < self.lane_count:
+            raise ValueError(f"lane_index {lane_index} out of range")
+        old = self.members[lane_index]
+        if record.lane != old.lane:
+            raise ValueError(
+                f"spare lane {record.lane} differs from member lane {old.lane}"
+            )
+        members = list(self.members)
+        members[lane_index] = record
+        self.members = tuple(members)
+        self.repairs += 1
+        return old
 
     def seal(self) -> None:
         if self.state is not SbState.OPEN:

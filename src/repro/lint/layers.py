@@ -2,11 +2,11 @@
 
 The simulator is layered as a DAG::
 
-    utils → nand → characterization → assembly → core → ftl → ssd
-        ↘ obs ————— (importable by core / ftl / ssd / …) ——————→ workloads
-                                                              → exp
-                                                              → analysis
-                                                              → lint / cli / api
+    utils → faults → nand → characterization → assembly → core → ftl → ssd
+        ↘ obs ————— (importable by core / ftl / ssd / …) ———————→ workloads
+                                                               → exp
+                                                               → analysis
+                                                               → lint / cli / api
 
 Each entry in :data:`LAYER_DEPENDENCIES` names the subpackages a layer may
 import from (its own layer is always allowed).  ``characterization``,
@@ -14,11 +14,16 @@ import from (its own layer is always allowed).  ``characterization``,
 band the order is characterization < assembly < core, matching how signatures
 feed assemblers feed the placement core.  ``obs`` (tracing, histograms,
 metrics registry) sits directly above ``utils`` so every simulation layer
-from ``core`` up can emit into it without inverting the DAG.  ``exp`` (the
-unified config / construction / sweep substrate) sits above ``workloads`` —
-it builds full device stacks and replays workloads through them — and below
-``analysis``, whose experiment drivers construct their testbeds through it.
-``repro.api`` is the top-level façade benchmarks and tools import from.
+from ``core`` up can emit into it without inverting the DAG.  ``faults``
+(deterministic fault plans and injectors) also sits directly above ``utils``:
+chips consult an injector on every operation, so the package must live
+*below* ``nand``, and the layers that schedule faults (``exp`` configs,
+``analysis`` experiments) reach down to it like they reach ``nand``.  ``exp``
+(the unified config / construction / sweep substrate) sits above
+``workloads`` — it builds full device stacks and replays workloads through
+them — and below ``analysis``, whose experiment drivers construct their
+testbeds through it.  ``repro.api`` is the top-level façade benchmarks and
+tools import from.
 
 :data:`LAYER_EXCEPTIONS` lists the few reviewed module-level edges that cross
 the map, each with a justification here rather than in the importing file.
@@ -32,22 +37,45 @@ from typing import Dict, FrozenSet, Tuple
 LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
     "utils": frozenset(),
     "obs": frozenset({"utils"}),
-    "nand": frozenset({"utils"}),
-    "characterization": frozenset({"nand", "utils"}),
-    "assembly": frozenset({"characterization", "nand", "utils"}),
-    "core": frozenset({"obs", "assembly", "characterization", "nand", "utils"}),
+    "faults": frozenset({"utils"}),
+    "nand": frozenset({"faults", "utils"}),
+    "characterization": frozenset({"faults", "nand", "utils"}),
+    "assembly": frozenset({"faults", "characterization", "nand", "utils"}),
+    "core": frozenset(
+        {"obs", "faults", "assembly", "characterization", "nand", "utils"}
+    ),
     "ftl": frozenset(
-        {"obs", "core", "assembly", "characterization", "nand", "utils"}
+        {"obs", "faults", "core", "assembly", "characterization", "nand", "utils"}
     ),
     "ssd": frozenset(
-        {"obs", "ftl", "core", "assembly", "characterization", "nand", "utils"}
+        {
+            "obs",
+            "faults",
+            "ftl",
+            "core",
+            "assembly",
+            "characterization",
+            "nand",
+            "utils",
+        }
     ),
     "workloads": frozenset(
-        {"obs", "ssd", "ftl", "core", "assembly", "characterization", "nand", "utils"}
+        {
+            "obs",
+            "faults",
+            "ssd",
+            "ftl",
+            "core",
+            "assembly",
+            "characterization",
+            "nand",
+            "utils",
+        }
     ),
     "exp": frozenset(
         {
             "obs",
+            "faults",
             "workloads",
             "ssd",
             "ftl",
@@ -61,6 +89,7 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
     "analysis": frozenset(
         {
             "obs",
+            "faults",
             "exp",
             "workloads",
             "ssd",

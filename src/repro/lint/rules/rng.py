@@ -119,3 +119,46 @@ class UnderivedDefaultRng(Rule):
             return False
         callee = Rule.dotted_name(arg.func)
         return callee is not None and callee.split(".")[-1] == "derive_seed"
+
+
+@register_rule
+class UnlabeledFaultStream(Rule):
+    code = "RNG004"
+    name = "unlabeled-fault-stream"
+    description = (
+        "fault-probability generators must draw from a derive_seed stream "
+        "carrying the literal 'faults' label, so injected faults can never "
+        "collide with (or silently perturb) a simulation RNG stream"
+    )
+    scope_prefixes = ("repro.faults",)
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self.dotted_name(node.func)
+            if dotted is None or dotted.split(".")[-1] != "default_rng":
+                continue
+            if self._has_faults_label(node):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                "default_rng(...) in a faults module without a 'faults' "
+                "derive_seed label — " + self.description,
+            )
+
+    @staticmethod
+    def _has_faults_label(node: ast.Call) -> bool:
+        if len(node.args) != 1 or node.keywords:
+            return False
+        seed = node.args[0]
+        if not isinstance(seed, ast.Call):
+            return False
+        callee = Rule.dotted_name(seed.func)
+        if callee is None or callee.split(".")[-1] != "derive_seed":
+            return False
+        return any(
+            isinstance(arg, ast.Constant) and arg.value == "faults"
+            for arg in seed.args
+        )

@@ -10,16 +10,32 @@ exactly like firmware timing commands on the paper's tester.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults.injector import NULL_INJECTOR, NullInjector
 from repro.nand import errors
 from repro.nand.geometry import NandGeometry, PageType
 from repro.nand.reliability import EccEngine, ReadCorrection
 from repro.nand.variation import ChipVariationProfile
 from repro.utils.rng import derive_seed
+
+
+class OpStatus(enum.Enum):
+    """Status a program/erase command reports, as real NAND does.
+
+    Real chips do not raise exceptions — firmware reads a status register
+    after every program/erase and reacts to FAIL by retiring the block.
+    Exceptions remain for *protocol* violations (programming out of order,
+    touching a factory-bad block); injected and wear-induced media failures
+    surface as ``FAIL`` results instead.
+    """
+
+    OK = "ok"
+    FAIL = "fail"
 
 
 @dataclass
@@ -38,10 +54,17 @@ class OperationResult:
 
     ``correction`` is present on reads when the chip models ECC: how many
     raw bits the engine fixed and how many read-retries it needed.
+    ``status`` is the chip's status-register verdict: ``FAIL`` on injected
+    program/erase failures (the operation still took ``latency_us``).
     """
 
     latency_us: float
     correction: Optional[ReadCorrection] = None
+    status: OpStatus = OpStatus.OK
+
+    @property
+    def ok(self) -> bool:
+        return self.status is OpStatus.OK
 
 
 @dataclass(frozen=True)
@@ -71,6 +94,7 @@ class FlashChip:
         geometry: NandGeometry,
         ecc: Optional[EccEngine] = None,
         read_seed: int = 0,
+        injector: NullInjector = NULL_INJECTOR,
     ) -> None:
         self._profile = profile
         self._geometry = geometry
@@ -80,10 +104,29 @@ class FlashChip:
             derive_seed(read_seed, "chip", profile.chip_id, "reads")
         )
         self._clock_hours = 0.0
+        self._injector = injector
+        self._grown_bad = 0
 
     @property
     def ecc(self) -> Optional[EccEngine]:
         return self._ecc
+
+    @property
+    def injector(self) -> NullInjector:
+        """The chip's fault injector (the shared null object by default)."""
+        return self._injector
+
+    @property
+    def grown_bad_blocks(self) -> int:
+        """Blocks this chip retired during operation (wear or injected)."""
+        return self._grown_bad
+
+    def retire_block(self, plane: int, block: int) -> None:
+        """Firmware-initiated retirement: mark a block grown-bad."""
+        state = self._state(plane, block)
+        if not state.retired:
+            state.retired = True
+            self._grown_bad += 1
 
     @property
     def clock_hours(self) -> float:
@@ -146,10 +189,21 @@ class FlashChip:
             raise errors.BadBlockError(f"retired block p{plane}/b{block}")
         if state.pe_cycles >= self._profile.endurance_limit(plane, block):
             state.retired = True
+            self._grown_bad += 1
             raise errors.EnduranceExceededError(
                 f"block p{plane}/b{block} wore out at {state.pe_cycles} P/E cycles"
             )
         latency = self._profile.erase_latency(plane, block, state.pe_cycles)
+        if self._injector.enabled:
+            if self._injector.plane_dead(plane):
+                # Dead plane: the command times out without touching state.
+                return OperationResult(latency_us=latency, status=OpStatus.FAIL)
+            if self._injector.fail_erase(plane, block):
+                # Erase-status failure: the block is grown-bad from now on.
+                state.pe_cycles += 1
+                state.retired = True
+                self._grown_bad += 1
+                return OperationResult(latency_us=latency, status=OpStatus.FAIL)
         state.pe_cycles += 1
         state.erased = True
         state.next_lwl = 0
@@ -184,6 +238,17 @@ class FlashChip:
         latency = self._profile.program_latency(
             plane, block, layer, string, state.pe_cycles
         )
+        if self._injector.enabled:
+            if self._injector.plane_dead(plane):
+                return OperationResult(latency_us=latency, status=OpStatus.FAIL)
+            if self._injector.fail_program(plane, block):
+                # Program-status failure: data is not committed, the
+                # word-line pointer does not advance, and the block retires.
+                # Previously programmed word-lines remain readable so the
+                # FTL can copy survivors off the block.
+                state.retired = True
+                self._grown_bad += 1
+                return OperationResult(latency_us=latency, status=OpStatus.FAIL)
         if lwl == 0:
             state.programmed_at_hours = self._clock_hours
         if data:
@@ -221,6 +286,7 @@ class FlashChip:
         if state.pe_cycles + cycles > limit:
             state.pe_cycles = limit
             state.retired = True
+            self._grown_bad += 1
             raise errors.EnduranceExceededError(
                 f"block p{plane}/b{block} wore out during stress at {limit} P/E cycles"
             )
@@ -241,11 +307,19 @@ class FlashChip:
                 f"p{plane}/b{block}/wl{lwl} not programmed (next={state.next_lwl})"
             )
         latency = self._profile.read_latency(plane, block, lwl)
+        rber_multiplier = 1.0
+        if self._injector.enabled:
+            rber_multiplier = self._injector.read_rber_multiplier(plane, block)
+            if self._injector.plane_dead(plane):
+                raise errors.UncorrectableReadError(
+                    f"p{plane}/b{block}/wl{lwl}/{page_type.name}: plane offline",
+                    latency_us=latency,
+                )
         payload = state.pages.get((lwl, page_type))
         correction: Optional[ReadCorrection] = None
         if self._ecc is not None:
             retention = max(0.0, self._clock_hours - state.programmed_at_hours)
-            page_rber = self._profile.page_rber(
+            page_rber = rber_multiplier * self._profile.page_rber(
                 plane, block, lwl, page_type, state.pe_cycles, retention
             )
             correction = self._ecc.read_page(page_rber, self._read_rng)

@@ -95,6 +95,11 @@ class Ssd:
         }
         self.metrics = SsdMetrics()
         self._page_transfer_us = timing.page_transfer_us(ftl.geometry)
+        # Live fault injectors need the simulated clock for their
+        # time-triggered events; empty (the common case) costs nothing.
+        self._injectors = [
+            chip.injector for chip in ftl.chips.values() if chip.injector.enabled
+        ]
 
     # -- request service ------------------------------------------------------
 
@@ -102,6 +107,8 @@ class Ssd:
         """Service one request."""
         now = request.time_us
         self.tracer.advance(now)
+        for injector in self._injectors:
+            injector.advance(now)
         if request.op is OpKind.WRITE:
             finish = self._service_write(request, now)
         elif request.op is OpKind.READ:
@@ -170,8 +177,15 @@ class Ssd:
             transfer_done = channel.acquire(now, transfer_us)
             die = self.dies[record.lane]
             # The program occupies the die after its data arrived; the MP
-            # command completes when the slowest die finishes.
-            die_done = die.acquire(transfer_done, report.completion_us)
+            # command completes when the slowest die finishes.  A lane that
+            # had to repair its member first (retire + copy-back onto a
+            # spare) holds its die for that extra time too.
+            lane_repair_us = (
+                report.repair_us[lane_index]
+                if lane_index < len(report.repair_us)
+                else 0.0
+            )
+            die_done = die.acquire(transfer_done, report.completion_us + lane_repair_us)
             completion = max(completion, die_done)
             if self.tracer.enabled:
                 self.tracer.complete(

@@ -172,6 +172,95 @@ class TestRunCommand:
         assert "mp_program" in out
 
 
+class TestFaultFlags:
+    def test_faulted_run_prints_fault_block_and_summary_keys(
+        self, capsys, tmp_path
+    ):
+        summary = tmp_path / "s.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--blocks", "32",
+                    "--chips", "3",
+                    "--seed", "7",
+                    "--requests", "400",
+                    "--faults", "program=0.006",
+                    "--summary", str(summary),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "-- faults --" in out
+        assert "sb_repairs" in out
+        doc = json.loads(summary.read_text())
+        assert doc["ftl"]["program_failures"] > 0
+        assert doc["ftl"]["sb_repairs"] > 0
+
+    def test_fault_free_run_has_no_fault_block(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--blocks", "24",
+                    "--chips", "3",
+                    "--seed", "4",
+                    "--requests", "120",
+                ]
+            )
+            == 0
+        )
+        assert "-- faults --" not in capsys.readouterr().out
+
+    def test_repair_flag_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--repair", "eeny"])
+        args = build_parser().parse_args(["run", "--repair", "random"])
+        assert args.repair == "random"
+
+    def test_bad_faults_spec_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--faults", "gamma=0.1"])
+        assert excinfo.value.code == 2
+        assert "bad --faults" in capsys.readouterr().err
+
+    def test_unsurvivable_fault_schedule_exits_cleanly(self, capsys, tmp_path):
+        # a plane outage on the single-plane device preset kills a whole
+        # lane: the run must end with a capacity verdict, not a traceback
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "events": [
+                        {
+                            "kind": "plane_outage",
+                            "chip": 0,
+                            "plane": 0,
+                            "at_op": 50,
+                        }
+                    ]
+                }
+            )
+        )
+        assert (
+            main(
+                [
+                    "run",
+                    "--blocks", "24",
+                    "--chips", "3",
+                    "--seed", "4",
+                    "--requests", "300",
+                    "--faults", f"@{plan}",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "out of space" in err
+        assert "fault schedule" in err
+
+
 class TestSweepCommand:
     SMALL = ["--blocks", "10", "--chips", "2", "--seed", "3"]
 

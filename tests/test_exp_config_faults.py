@@ -1,0 +1,79 @@
+"""SimConfig <-> FaultPlan plumbing: normalization, round-trips, hash pins."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.exp import SimConfig
+from repro.faults import KIND_PROGRAM_FAIL, FaultEvent, FaultPlan
+from repro.utils.rng import derive_seed
+
+PLAN = FaultPlan(
+    program_fail_prob=0.01,
+    erase_fail_prob=0.002,
+    events=[FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, at_op=5)],
+)
+
+
+class TestNullNormalization:
+    def test_default_is_none(self):
+        assert SimConfig.testbed().faults is None
+        assert SimConfig.device().faults is None
+
+    def test_null_plan_normalizes_to_none(self):
+        # "no plan" and "an empty plan" must be the same config: equal,
+        # equal hashes, equal serializations.
+        explicit = SimConfig.testbed(faults=FaultPlan.none())
+        implicit = SimConfig.testbed()
+        assert explicit.faults is None
+        assert explicit == implicit
+        assert explicit.content_hash() == implicit.content_hash()
+
+    def test_real_plan_survives(self):
+        config = SimConfig.testbed(faults=PLAN)
+        assert config.faults == PLAN
+        assert config.with_(faults=None).faults is None
+
+
+class TestSerialization:
+    def test_faults_key_omitted_when_none(self):
+        assert "faults" not in SimConfig.testbed().to_dict()
+
+    def test_round_trip_with_plan(self):
+        config = SimConfig.testbed(faults=PLAN)
+        data = config.to_dict()
+        assert data["faults"]["program_fail_prob"] == pytest.approx(0.01)
+        rebuilt = SimConfig.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == config
+        assert rebuilt.faults.events == PLAN.events
+
+    def test_round_trip_without_plan(self):
+        config = SimConfig.device(seed=5)
+        assert SimConfig.from_dict(config.to_dict()) == config
+
+    def test_pickle_with_plan(self):
+        config = SimConfig.testbed(faults=PLAN)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestContentHash:
+    def test_faults_change_the_hash(self):
+        clean = SimConfig.testbed()
+        faulted = clean.with_(faults=PLAN)
+        assert clean.content_hash() != faulted.content_hash()
+        # and different plans hash differently
+        other = clean.with_(faults=FaultPlan(program_fail_prob=0.02))
+        assert faulted.content_hash() != other.content_hash()
+
+    def test_pre_fault_hashes_are_preserved(self):
+        # Pinned from a sweep manifest produced before the faults field
+        # existed (`sweep --task replay --preset device --blocks 24
+        # --chips 4 --seed 7 --over seed=7,8`).  Fault-free configs must
+        # keep hashing exactly as they always did, or every cached sweep
+        # result in the wild is silently invalidated.
+        base = SimConfig.device(seed=7, chips=4, blocks=24)
+        pinned = {7: "9ec5ef166eb73de6", 8: "5a3af85acbbd4fea"}
+        for value, expected in pinned.items():
+            cell = base.with_(seed=derive_seed(base.seed, "seed", value))
+            assert cell.content_hash() == expected

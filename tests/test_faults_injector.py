@@ -1,0 +1,174 @@
+"""FaultInjector behaviour: null object, scheduled events, seeded streams."""
+
+from repro.faults import (
+    KIND_ERASE_FAIL,
+    KIND_PLANE_OUTAGE,
+    KIND_PROGRAM_FAIL,
+    KIND_READ_STORM,
+    NULL_INJECTOR,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    NullInjector,
+    make_injector,
+)
+
+
+class TestNullInjector:
+    def test_is_disabled_and_inert(self):
+        assert not NULL_INJECTOR.enabled
+        NULL_INJECTOR.advance(123.0)
+        assert not NULL_INJECTOR.fail_program(0, 0)
+        assert not NULL_INJECTOR.fail_erase(0, 0)
+        assert NULL_INJECTOR.read_rber_multiplier(0, 0) == 1.0
+        assert not NULL_INJECTOR.plane_dead(0)
+
+    def test_make_injector_returns_null_for_null_plans(self):
+        assert make_injector(None, 7, 0) is NULL_INJECTOR
+        assert make_injector(FaultPlan.none(), 7, 0) is NULL_INJECTOR
+        assert isinstance(NULL_INJECTOR, NullInjector)
+
+    def test_make_injector_returns_live_for_real_plans(self):
+        injector = make_injector(FaultPlan(program_fail_prob=0.5), 7, 0)
+        assert isinstance(injector, FaultInjector)
+        assert injector.enabled
+
+
+class TestScheduledEvents:
+    def test_program_fail_at_op(self):
+        plan = FaultPlan(
+            events=[FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, at_op=2)]
+        )
+        injector = make_injector(plan, 7, 0)
+        # op indices 0,1 pass; op 2 fails; subsequent ops pass (one-shot)
+        assert not injector.fail_program(0, 0)
+        assert not injector.fail_program(0, 0)
+        assert injector.fail_program(0, 0)
+        assert not injector.fail_program(0, 0)
+        assert injector.injected_program_fails == 1
+
+    def test_event_for_other_chip_never_fires(self):
+        plan = FaultPlan(
+            events=[FaultEvent(kind=KIND_PROGRAM_FAIL, chip=3, at_op=0)]
+        )
+        injector = make_injector(plan, 7, 0)
+        assert not any(injector.fail_program(0, 0) for _ in range(10))
+
+    def test_plane_and_block_narrowing(self):
+        # Time-armed events stay pending until an op touches plane 1, block 5.
+        plan = FaultPlan(
+            events=[
+                FaultEvent(
+                    kind=KIND_PROGRAM_FAIL, chip=0, plane=1, block=5,
+                    at_time_us=0.0,
+                )
+            ]
+        )
+        injector = make_injector(plan, 7, 0)
+        assert not injector.fail_program(0, 5)
+        assert not injector.fail_program(1, 4)
+        assert injector.fail_program(1, 5)
+        # one-shot: consumed after firing
+        assert not injector.fail_program(1, 5)
+
+    def test_op_scheduled_event_is_exact_match(self):
+        # at_op is an exact index: if the plane mismatches at that op, the
+        # window is gone and the event never fires.
+        plan = FaultPlan(
+            events=[FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, plane=1, at_op=0)]
+        )
+        injector = make_injector(plan, 7, 0)
+        assert not injector.fail_program(0, 0)
+        assert not any(injector.fail_program(1, 0) for _ in range(5))
+
+    def test_erase_fail_uses_its_own_op_counter(self):
+        plan = FaultPlan(
+            events=[FaultEvent(kind=KIND_ERASE_FAIL, chip=0, at_op=1)]
+        )
+        injector = make_injector(plan, 7, 0)
+        # program ops do not advance the erase counter
+        for _ in range(5):
+            assert not injector.fail_program(0, 0)
+        assert not injector.fail_erase(0, 0)
+        assert injector.fail_erase(0, 0)
+        assert injector.injected_erase_fails == 1
+
+    def test_time_triggered_event(self):
+        plan = FaultPlan(
+            events=[FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, at_time_us=100.0)]
+        )
+        injector = make_injector(plan, 7, 0)
+        assert not injector.fail_program(0, 0)
+        injector.advance(99.0)
+        assert not injector.fail_program(0, 0)
+        injector.advance(101.0)
+        assert injector.fail_program(0, 0)
+
+    def test_plane_outage(self):
+        plan = FaultPlan(
+            events=[FaultEvent(kind=KIND_PLANE_OUTAGE, chip=0, plane=1, at_op=1)]
+        )
+        injector = make_injector(plan, 7, 0)
+        assert not injector.plane_dead(1)
+        # the outage triggers when the total-op clock reaches the event AND
+        # the operation touches the dying plane
+        assert not injector.fail_program(1, 0)
+        assert injector.plane_dead(1)
+        assert not injector.plane_dead(0)
+        assert injector.injected_plane_outages == 1
+
+    def test_read_storm_window(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(
+                    kind=KIND_READ_STORM, chip=0, at_op=0, duration_ops=2,
+                    rber_multiplier=40.0,
+                )
+            ]
+        )
+        injector = make_injector(plan, 7, 0)
+        assert injector.read_rber_multiplier(0, 0) == 40.0
+        assert injector.read_rber_multiplier(0, 0) == 40.0
+        # window exhausted after duration_ops elevated reads
+        assert injector.read_rber_multiplier(0, 0) == 1.0
+        assert injector.injected_read_storms == 1
+
+
+class TestSeededStreams:
+    def test_probabilistic_failures_are_deterministic(self):
+        plan = FaultPlan(program_fail_prob=0.3, erase_fail_prob=0.2)
+        first = make_injector(plan, 11, 2)
+        second = make_injector(plan, 11, 2)
+        program = [first.fail_program(0, 0) for _ in range(200)]
+        assert program == [second.fail_program(0, 0) for _ in range(200)]
+        erase = [first.fail_erase(0, 0) for _ in range(200)]
+        assert erase == [second.fail_erase(0, 0) for _ in range(200)]
+        assert any(program) and not all(program)
+        assert any(erase) and not all(erase)
+
+    def test_streams_differ_across_chips_and_seeds(self):
+        plan = FaultPlan(program_fail_prob=0.3)
+
+        def draws(seed, chip):
+            injector = make_injector(plan, seed, chip)
+            return tuple(injector.fail_program(0, 0) for _ in range(128))
+
+        assert draws(11, 0) != draws(11, 1)
+        assert draws(11, 0) != draws(12, 0)
+
+    def test_program_and_erase_streams_are_independent(self):
+        plan = FaultPlan(program_fail_prob=0.3, erase_fail_prob=0.3)
+        mixed = make_injector(plan, 11, 0)
+        pure = make_injector(plan, 11, 0)
+        # interleaving erase draws must not perturb the program stream
+        mixed_program = []
+        for _ in range(100):
+            mixed.fail_erase(0, 0)
+            mixed_program.append(mixed.fail_program(0, 0))
+        assert mixed_program == [pure.fail_program(0, 0) for _ in range(100)]
+
+    def test_fault_counters_accumulate(self):
+        plan = FaultPlan(program_fail_prob=0.5)
+        injector = make_injector(plan, 11, 0)
+        fails = sum(injector.fail_program(0, 0) for _ in range(100))
+        assert injector.injected_program_fails == fails > 0

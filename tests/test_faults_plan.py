@@ -1,0 +1,156 @@
+"""FaultPlan / FaultEvent value-object tests: validation, round-trips, specs."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.faults import (
+    KIND_ERASE_FAIL,
+    KIND_PLANE_OUTAGE,
+    KIND_PROGRAM_FAIL,
+    KIND_READ_STORM,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+class TestFaultEventValidation:
+    def test_minimal_event(self):
+        event = FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, at_op=5)
+        assert event.at_op == 5
+        assert event.plane is None and event.block is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(kind="meteor_strike", chip=0, at_op=1)
+
+    def test_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="at_op and/or at_time_us"):
+            FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0)
+
+    def test_negative_triggers_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, at_op=-1)
+        with pytest.raises(ValueError):
+            FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, at_time_us=-0.5)
+        with pytest.raises(ValueError):
+            FaultEvent(kind=KIND_PROGRAM_FAIL, chip=-1, at_op=0)
+
+    def test_read_storm_needs_duration_and_sane_multiplier(self):
+        with pytest.raises(ValueError, match="duration_ops"):
+            FaultEvent(kind=KIND_READ_STORM, chip=0, at_op=0)
+        with pytest.raises(ValueError, match="rber_multiplier"):
+            FaultEvent(
+                kind=KIND_READ_STORM, chip=0, at_op=0, duration_ops=4,
+                rber_multiplier=0.5,
+            )
+        event = FaultEvent(
+            kind=KIND_READ_STORM, chip=0, at_op=0, duration_ops=4,
+            rber_multiplier=50.0,
+        )
+        assert event.duration_ops == 4
+
+    def test_plane_outage_needs_explicit_plane(self):
+        with pytest.raises(ValueError, match="explicit plane"):
+            FaultEvent(kind=KIND_PLANE_OUTAGE, chip=0, at_op=3)
+        event = FaultEvent(kind=KIND_PLANE_OUTAGE, chip=0, plane=1, at_op=3)
+        assert event.plane == 1
+
+    def test_round_trip(self):
+        event = FaultEvent(
+            kind=KIND_ERASE_FAIL, chip=2, plane=0, block=7, at_op=11,
+            at_time_us=900.0,
+        )
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultEvent fields"):
+            FaultEvent.from_dict(
+                {"kind": KIND_PROGRAM_FAIL, "chip": 0, "at_op": 1, "color": "red"}
+            )
+
+
+class TestFaultPlan:
+    def test_null_plan(self):
+        assert FaultPlan.none().is_null
+        assert FaultPlan().is_null
+        assert not FaultPlan(program_fail_prob=0.01).is_null
+        assert not FaultPlan(
+            events=[FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, at_op=1)]
+        ).is_null
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(program_fail_prob=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(erase_fail_prob=-0.1)
+
+    def test_event_dicts_are_coerced(self):
+        plan = FaultPlan(
+            events=[{"kind": KIND_PROGRAM_FAIL, "chip": 1, "at_op": 3}]
+        )
+        assert isinstance(plan.events[0], FaultEvent)
+        assert plan.events[0].chip == 1
+
+    def test_events_for_chip(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, at_op=1),
+                FaultEvent(kind=KIND_ERASE_FAIL, chip=1, at_op=2),
+                FaultEvent(kind=KIND_PROGRAM_FAIL, chip=0, at_op=9),
+            ]
+        )
+        assert len(plan.events_for_chip(0)) == 2
+        assert len(plan.events_for_chip(1)) == 1
+        assert plan.events_for_chip(7) == ()
+
+    def test_round_trip_and_pickle(self):
+        plan = FaultPlan(
+            program_fail_prob=0.01,
+            erase_fail_prob=0.002,
+            events=[FaultEvent(kind=KIND_PLANE_OUTAGE, chip=0, plane=0, at_op=4)],
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        # canonical dicts survive a JSON round-trip too
+        assert FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict()))) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            FaultPlan.from_dict({"program_fail_prob": 0.1, "meteor": True})
+
+
+class TestFromSpec:
+    def test_csv_spec(self):
+        plan = FaultPlan.from_spec("program=0.01,erase=0.005")
+        assert plan.program_fail_prob == pytest.approx(0.01)
+        assert plan.erase_fail_prob == pytest.approx(0.005)
+
+    def test_single_key(self):
+        plan = FaultPlan.from_spec("program=0.25")
+        assert plan.program_fail_prob == pytest.approx(0.25)
+        assert not plan.erase_fail_prob
+
+    def test_file_spec(self, tmp_path):
+        doc = {
+            "program_fail_prob": 0.1,
+            "erase_fail_prob": 0.0,
+            "events": [
+                {"kind": KIND_READ_STORM, "chip": 0, "at_op": 2,
+                 "duration_ops": 8, "rber_multiplier": 30.0}
+            ],
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        plan = FaultPlan.from_spec(f"@{path}")
+        assert plan.program_fail_prob == pytest.approx(0.1)
+        assert plan.events[0].kind == KIND_READ_STORM
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("")
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("program")
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("gamma=0.1")

@@ -32,6 +32,7 @@ def test_registry_has_all_rule_families() -> None:
         "RNG001",
         "RNG002",
         "RNG003",
+        "RNG004",
         "DET001",
         "DET002",
         "LAY001",
@@ -101,6 +102,38 @@ def test_rng003_allows_derive_seed() -> None:
         r = np.random.default_rng(derive_seed(7, "chip", 3))
     """
     assert "RNG003" not in codes(run(clean))
+
+
+# ---------------------------------------------------------------- RNG004
+
+
+def test_rng004_flags_unlabeled_stream_in_faults_module() -> None:
+    source = """
+        import numpy as np
+        from repro.utils.rng import derive_seed
+        r = np.random.default_rng(derive_seed(7, "chip", 3))
+    """
+    findings = run(source, module="repro.faults.injector")
+    assert "RNG004" in codes(findings)
+
+
+def test_rng004_allows_faults_labeled_stream() -> None:
+    clean = """
+        import numpy as np
+        from repro.utils.rng import derive_seed
+        r = np.random.default_rng(derive_seed(7, "faults", 3, "program"))
+    """
+    assert "RNG004" not in codes(run(clean, module="repro.faults.injector"))
+
+
+def test_rng004_scoped_to_faults_modules_only() -> None:
+    # the same unlabeled stream outside repro.faults is RNG004-clean
+    source = """
+        import numpy as np
+        from repro.utils.rng import derive_seed
+        r = np.random.default_rng(derive_seed(7, "chip", 3))
+    """
+    assert "RNG004" not in codes(run(source, module="repro.ftl.ftl"))
 
 
 # ---------------------------------------------------------------- DET001
