@@ -452,7 +452,29 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 _DEFAULT_LINT_PATHS = ("src", "benchmarks", "examples", "tools")
 
 
+def _changed_files(root: "Path") -> Optional[set]:
+    """Repo-relative paths changed vs HEAD (worktree, index, untracked)."""
+    import subprocess
+
+    names: set = set()
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "diff", "--name-only", "--cached"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, cwd=root, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        names.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return names
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_module
     from pathlib import Path
 
     from repro.lint import lint_paths, render_json, render_text
@@ -471,11 +493,71 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if not paths:
             print("repro lint: no lintable paths found in cwd", file=sys.stderr)
             return 2
+    root = Path.cwd()
+    path_objects = [Path(p) for p in paths]
+
+    if args.vector_report is not None:
+        from repro.lint.project import Project
+        from repro.lint.vector import vector_report
+
+        report = vector_report(Project.from_paths(path_objects, root=root))
+        text = json_module.dumps(report, indent=2)
+        if args.vector_report == "-":
+            print(text)
+        else:
+            Path(args.vector_report).write_text(text + "\n", encoding="utf-8")
+            print(
+                f"repro lint: wrote vector work-list "
+                f"({report['function_count']} functions) to {args.vector_report}"
+            )
+        return 0
+
+    deep = args.deep or args.write_baseline
     findings = lint_paths(paths)
+    grandfathered_count = 0
+    if deep:
+        from repro.lint.baseline import DEFAULT_BASELINE, Baseline
+        from repro.lint.deep import run_deep
+
+        deep_findings = run_deep(path_objects, root=root)
+        baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+        if args.write_baseline:
+            Baseline.from_findings(deep_findings).save(baseline_path)
+            print(
+                f"repro lint: wrote {len(deep_findings)} finding(s) to baseline "
+                f"{baseline_path}; add justifications before committing"
+            )
+            return 0
+        baseline = Baseline.load(baseline_path)
+        fresh, grandfathered = baseline.split(deep_findings)
+        grandfathered_count = len(grandfathered)
+        findings = sorted(findings + fresh)
+
+    if args.changed:
+        changed = _changed_files(root)
+        if changed is None:
+            print("repro lint: --changed needs a git checkout", file=sys.stderr)
+            return 2
+        findings = [f for f in findings if f.path in changed]
+
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        from repro.lint import all_rules, render_sarif
+        from repro.lint.deep import all_deep_rules
+
+        descriptors = [
+            {"code": rule.code, "name": rule.name, "description": rule.description}
+            for rule in list(all_rules()) + (list(all_deep_rules()) if deep else [])
+        ]
+        print(render_sarif(findings, rules=descriptors))
     else:
         print(render_text(findings))
+        if deep and grandfathered_count:
+            print(
+                f"({grandfathered_count} grandfathered finding(s) suppressed by "
+                f"the baseline)"
+            )
     return 1 if findings else 0
 
 
@@ -636,7 +718,37 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="files/directories to lint (default: src benchmarks examples tools)",
     )
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--format", choices=["text", "json", "sarif"], default="text")
+    lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program analyses (call graph + dataflow: "
+        "RNG010-012, DET010-012, PROC001-003, VEC001)",
+    )
+    lint.add_argument(
+        "--baseline",
+        help="baseline JSON grandfathering deep findings "
+        "(default: tools/reprolint_baseline.json)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current deep findings into the baseline file and exit",
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="report findings only for files changed vs git HEAD "
+        "(the whole-program graph is still built over all paths)",
+    )
+    lint.add_argument(
+        "--vector-report",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help="emit the ranked hot-path vectorization work-list JSON "
+        "(to PATH, or stdout when no PATH is given) and exit",
+    )
     lint.set_defaults(func=cmd_lint)
 
     return parser

@@ -50,6 +50,7 @@ from repro.exp.sweep import (
     SweepResult,
     dig,
     run,
+    worker_entrypoint,
 )
 from repro.exp.tasks import DEFAULT_METHODS, TASKS, Task, register_task
 
@@ -78,6 +79,7 @@ __all__ = [
     "SweepResult",
     "run",
     "dig",
+    "worker_entrypoint",
     # tasks
     "TASKS",
     "Task",

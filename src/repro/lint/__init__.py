@@ -14,30 +14,65 @@ into machine-checked invariants:
 * **unit discipline** — all latencies stay in microseconds and conversions go
   through :mod:`repro.utils.units`.
 
-Run it with ``repro lint`` (or ``python -m repro lint``); suppress a single
-finding with ``# reprolint: disable=CODE`` on the flagged line, or a whole
-file with ``# reprolint: disable-file=CODE`` — always with a comment saying
-why the exemption is sound.
+Run it with ``repro lint`` (or ``python -m repro lint``); add ``--deep`` for
+the whole-program passes (call graph + taint: RNG stream flow, nondeterminism
+taint, process safety, vectorizability — see DESIGN.md §10).  Suppress a
+single finding with ``# reprolint: disable=CODE`` on the flagged line (on a
+``def``/decorator line this covers the whole function body for deep
+findings), or a whole file with ``# reprolint: disable-file=CODE`` — always
+with a comment saying why the exemption is sound.
 """
 
 from __future__ import annotations
 
+from repro.lint.baseline import Baseline, fingerprint
+from repro.lint.callgraph import CallEdge, CallGraph
+from repro.lint.dataflow import SinkHit, TaintAnalysis
+from repro.lint.deep import (
+    DeepContext,
+    DeepRule,
+    all_deep_rules,
+    deep_codes,
+    register_deep_rule,
+    run_deep,
+    run_deep_sources,
+)
 from repro.lint.engine import LintRunner, lint_paths, lint_source
 from repro.lint.findings import Finding, Severity
+from repro.lint.project import Project
 from repro.lint.registry import Rule, RuleContext, all_rules, get_rule, register_rule
 from repro.lint.report import render_json, render_text
+from repro.lint.sarif import render_sarif, validate_sarif
+from repro.lint.vector import vector_report
 
 __all__ = [
+    "Baseline",
+    "CallEdge",
+    "CallGraph",
+    "DeepContext",
+    "DeepRule",
     "Finding",
     "LintRunner",
+    "Project",
     "Rule",
     "RuleContext",
     "Severity",
+    "SinkHit",
+    "TaintAnalysis",
+    "all_deep_rules",
     "all_rules",
+    "deep_codes",
+    "fingerprint",
     "get_rule",
     "lint_paths",
     "lint_source",
+    "register_deep_rule",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
+    "run_deep",
+    "run_deep_sources",
+    "validate_sarif",
+    "vector_report",
 ]

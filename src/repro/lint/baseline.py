@@ -1,0 +1,84 @@
+"""Baseline file for grandfathered deep findings.
+
+A finding is fingerprinted by ``sha256(path|code|message)`` — deliberately
+**line-insensitive**, so unrelated edits above a grandfathered finding do
+not invalidate its baseline entry.  Every entry carries a human
+justification; the self-check enforces both the justification and the cap
+(at most :data:`MAX_BASELINE_ENTRIES` entries — the baseline is a parking
+lot, not a landfill).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+#: default committed location, relative to the repo root.
+DEFAULT_BASELINE = "tools/reprolint_baseline.json"
+
+#: hard cap enforced by the self-check and `--write-baseline`.
+MAX_BASELINE_ENTRIES = 5
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable, line-insensitive identity of a finding."""
+    payload = f"{finding.path}|{finding.code}|{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    #: fingerprint -> entry dict (code, path, message, justification)
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(entries=dict(data.get("findings", {})))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "comment": (
+                "Grandfathered `repro lint --deep` findings. Every entry needs a "
+                "justification; fingerprints are sha256(path|code|message)[:16], "
+                "line-insensitive. Max %d entries." % MAX_BASELINE_ENTRIES
+            ),
+            "findings": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str = "TODO: justify"
+    ) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.entries[fingerprint(finding)] = {
+                "code": finding.code,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": justification,
+            }
+        return baseline
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """(new, grandfathered) partition of ``findings``."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            (old if fingerprint(finding) in self.entries else new).append(finding)
+        return new, old
+
+    def __len__(self) -> int:
+        return len(self.entries)

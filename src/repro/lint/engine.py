@@ -50,7 +50,9 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
     collected: List[Path] = []
     for path in paths:
         if path.is_dir():
-            for dirpath, dirnames, filenames in os.walk(path):
+            # deterministic: dirnames is re-sorted in place below, so the walk
+            # order is pinned regardless of readdir order.
+            for dirpath, dirnames, filenames in os.walk(path):  # reprolint: disable=DET011
                 dirnames[:] = sorted(
                     d for d in dirnames if d not in _SKIP_DIRS and not d.startswith(".")
                 )
@@ -59,7 +61,9 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
                         collected.append(Path(dirpath) / name)
         elif path.suffix == ".py":
             collected.append(path)
-    for path in collected:
+    # collected is already deterministic: the walk above pins dirnames in
+    # place and iterates filenames sorted, so this order is reproducible.
+    for path in collected:  # reprolint: disable=DET011
         key = str(path.resolve())
         if key not in seen:
             seen.add(key)
@@ -96,7 +100,7 @@ class LintRunner:
             tree=tree,
             lines=source.splitlines(),
         )
-        suppressions = parse_suppressions(source)
+        suppressions = parse_suppressions(source, tree=tree)
         findings: List[Finding] = []
         for rule in self.rules:
             if not rule.applies_to(module):

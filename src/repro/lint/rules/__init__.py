@@ -1,7 +1,33 @@
-"""Built-in rule families; importing this package registers every rule."""
+"""Built-in rule families; importing this package registers every rule.
+
+The ``deep_*`` modules register whole-program rules (run via
+``repro lint --deep``); the rest are per-file shallow rules.
+"""
 
 from __future__ import annotations
 
-from repro.lint.rules import determinism, layering, numeric, obs, rng, units
+from repro.lint.rules import (
+    deep_det,
+    deep_proc,
+    deep_rng,
+    deep_vec,
+    determinism,
+    layering,
+    numeric,
+    obs,
+    rng,
+    units,
+)
 
-__all__ = ["determinism", "layering", "numeric", "obs", "rng", "units"]
+__all__ = [
+    "deep_det",
+    "deep_proc",
+    "deep_rng",
+    "deep_vec",
+    "determinism",
+    "layering",
+    "numeric",
+    "obs",
+    "rng",
+    "units",
+]

@@ -1,0 +1,58 @@
+"""Deep vectorizability rule (VEC001).
+
+A *warning*-severity advisory over the hot-path modules the ROADMAP wants
+vectorized: a module-level pure function whose loops are all clean map/
+reduce shapes is a drop-in numpy rewrite.  The full ranked inventory —
+including impure functions and why they are impure — lives in
+``repro lint --vector-report`` / ``tools/vector_worklist.json``; VEC001
+only flags the top of that list so the work stays visible in CI output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.deep import DeepContext, DeepRule, register_deep_rule
+from repro.lint.findings import Finding, Severity
+from repro.lint.vector import classify_function, hot_path_functions
+
+
+@register_deep_rule
+class VectorizablePureLoop(DeepRule):
+    """VEC001: a pure hot-path function with map/reduce loops awaits numpy."""
+
+    code = "VEC001"
+    name = "vectorizable-pure-loop"
+    description = (
+        "A module-level pure function in a hot-path module (nand/variation, "
+        "nand/reliability, ftl/mapping, assembly/signatures) loops in a "
+        "map/reduce shape a numpy rewrite can lift verbatim; tracked in "
+        "tools/vector_worklist.json."
+    )
+    severity = Severity.WARNING
+
+    def check(self, ctx: DeepContext) -> Iterable[Finding]:
+        for fn in hot_path_functions(ctx.project):
+            if fn.is_method:
+                continue
+            classification = classify_function(fn)
+            if not classification.pure or not classification.loops:
+                continue
+            shapes = sorted({loop.shape for loop in classification.loops})
+            if "mixed" in shapes:
+                continue
+            info = ctx.project.modules.get(fn.module)
+            if info is None:
+                continue
+            yield ctx.finding(
+                path=info.path,
+                line=fn.lineno,
+                col=0,
+                code=self.code,
+                message=(
+                    f"pure function {fn.qualname} has only {'/'.join(shapes)}-"
+                    f"shaped loops and is numpy-vectorizable; see "
+                    f"tools/vector_worklist.json"
+                ),
+                severity=Severity.WARNING,
+            )

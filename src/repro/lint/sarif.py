@@ -1,0 +1,281 @@
+"""SARIF 2.1.0 export of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what CI systems and
+code-scanning UIs ingest.  ``render_sarif`` emits the minimal conforming
+document: one run, a tool driver listing every rule that *could* fire, and
+one result per finding with a physical location.
+
+``validate_sarif`` checks a document against an embedded subset of the
+OASIS 2.1.0 schema — the structural constraints that matter for ingestion
+(required members, enum levels, location shape).  The container has no
+network access, so the full 200 kB schema is not vendored; when the
+``jsonschema`` package is present it is used, otherwise a hand-rolled
+structural walk enforces the same subset.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: subset of the OASIS sarif-schema-2.1.0 — the members this exporter emits.
+SARIF_SUBSET_SCHEMA: Dict[str, object] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(code: str, name: str, description: str) -> Dict[str, object]:
+    return {
+        "id": code,
+        "name": name,
+        "shortDescription": {"text": description or name or code},
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rules: Optional[Iterable[Dict[str, str]]] = None,
+    tool_version: str = "2.0",
+) -> str:
+    """Serialize findings as a SARIF 2.1.0 JSON document.
+
+    ``rules`` is an iterable of ``{"code", "name", "description"}`` dicts;
+    rules not in the list but present in findings get a minimal descriptor.
+    """
+    descriptors: Dict[str, Dict[str, object]] = {}
+    for rule in rules or ():
+        descriptors[rule["code"]] = _rule_descriptor(
+            rule["code"], rule.get("name", ""), rule.get("description", "")
+        )
+    for finding in findings:
+        descriptors.setdefault(
+            finding.code, _rule_descriptor(finding.code, finding.code, finding.code)
+        )
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.code,
+                "level": _LEVELS.get(finding.severity, "error"),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                            "region": {
+                                "startLine": max(1, finding.line),
+                                "startColumn": max(1, finding.col + 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "https://example.invalid/repro/lint",
+                        "version": tool_version,
+                        "rules": [descriptors[code] for code in sorted(descriptors)],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def validate_sarif(document: object) -> List[str]:
+    """Validate against the embedded 2.1.0 subset schema; return error strings.
+
+    Accepts a parsed document or a JSON string.  Empty list == valid.
+    """
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as error:
+            return [f"not JSON: {error}"]
+    try:
+        # optional dependency: absent (or stub-less) environments fall back
+        # to the structural walk below
+        import jsonschema  # type: ignore
+
+        validator = jsonschema.Draft7Validator(SARIF_SUBSET_SCHEMA)
+        return [
+            f"{'/'.join(str(p) for p in error.absolute_path) or '<root>'}: {error.message}"
+            for error in sorted(validator.iter_errors(document), key=str)
+        ]
+    except ImportError:
+        return _structural_validate(document)
+
+
+def _structural_validate(document: object) -> List[str]:
+    """Fallback validation mirroring :data:`SARIF_SUBSET_SCHEMA`."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["<root>: not an object"]
+    if document.get("version") != SARIF_VERSION:
+        errors.append(f"version: expected {SARIF_VERSION!r}")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs: must be a non-empty array"]
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            errors.append(f"runs/{i}: not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict) or not isinstance(driver.get("name"), str):
+            errors.append(f"runs/{i}/tool/driver: missing name")
+        results = run.get("results")
+        if not isinstance(results, list):
+            errors.append(f"runs/{i}/results: must be an array")
+            continue
+        for j, result in enumerate(results):
+            if not isinstance(result, dict):
+                errors.append(f"runs/{i}/results/{j}: not an object")
+                continue
+            if not isinstance(result.get("ruleId"), str):
+                errors.append(f"runs/{i}/results/{j}/ruleId: missing")
+            message = result.get("message")
+            if not isinstance(message, dict) or not isinstance(message.get("text"), str):
+                errors.append(f"runs/{i}/results/{j}/message/text: missing")
+            level = result.get("level")
+            if level is not None and level not in ("none", "note", "warning", "error"):
+                errors.append(f"runs/{i}/results/{j}/level: invalid {level!r}")
+            for k, location in enumerate(result.get("locations", []) or []):
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not isinstance(physical, dict):
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not isinstance(artifact, dict) or not isinstance(
+                    artifact.get("uri"), str
+                ):
+                    errors.append(
+                        f"runs/{i}/results/{j}/locations/{k}: artifactLocation.uri missing"
+                    )
+                region = physical.get("region")
+                if isinstance(region, dict):
+                    for member in ("startLine", "startColumn"):
+                        value = region.get(member)
+                        if value is not None and (
+                            not isinstance(value, int) or value < 1
+                        ):
+                            errors.append(
+                                f"runs/{i}/results/{j}/locations/{k}/region/{member}: "
+                                f"must be a positive integer"
+                            )
+    return errors

@@ -1,9 +1,13 @@
 """Parsing of ``# reprolint: disable=...`` suppression comments.
 
-Two scopes are supported:
+Two directives are supported:
 
 * ``# reprolint: disable=CODE1,CODE2`` — suppresses those codes for findings
-  reported **on the same line** (the line the AST node starts on);
+  reported **on the same line** (the line the AST node starts on).  When the
+  directive sits on a ``def`` line or one of its decorator lines, the codes
+  additionally cover the **whole function body** for deep (whole-program
+  dataflow) findings — those anchor on arbitrary statements inside the
+  function, so line-matching the ``def`` alone could never silence them;
 * ``# reprolint: disable-file=CODE1,CODE2`` — suppresses those codes for the
   whole file; conventionally placed near the top.
 
@@ -13,11 +17,12 @@ preceding line; the linter enforces the syntax, reviewers enforce the why.
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.findings import Finding
 
@@ -52,15 +57,52 @@ class SuppressionIndex:
 
     file_codes: FrozenSet[str] = frozenset()
     line_codes: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: (first_line, last_line, codes) function-body ranges — a directive on a
+    #: ``def``/decorator line widened to the whole function, deep codes only.
+    ranges: Tuple[Tuple[int, int, FrozenSet[str]], ...] = ()
 
-    def suppresses(self, finding: Finding) -> bool:
+    def suppresses(self, finding: Finding, function_scope: bool = False) -> bool:
         if finding.code in self.file_codes:
             return True
-        return finding.code in self.line_codes.get(finding.line, frozenset())
+        if finding.code in self.line_codes.get(finding.line, frozenset()):
+            return True
+        if function_scope:
+            for first, last, codes in self.ranges:
+                if first <= finding.line <= last and finding.code in codes:
+                    return True
+        return False
 
 
-def parse_suppressions(source: str) -> SuppressionIndex:
-    """Scan a file's text for suppression directives."""
+def _function_ranges(
+    tree: ast.Module, line_codes: Dict[int, FrozenSet[str]]
+) -> Tuple[Tuple[int, int, FrozenSet[str]], ...]:
+    """Widen def/decorator-line directives to whole-function ranges."""
+    ranges: List[Tuple[int, int, FrozenSet[str]]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        first = min(
+            [node.lineno] + [d.lineno for d in node.decorator_list],
+        )
+        header_lines = range(first, node.body[0].lineno if node.body else node.lineno)
+        codes: Set[str] = set()
+        for lineno in header_lines:
+            codes.update(line_codes.get(lineno, frozenset()))
+        if codes:
+            last = getattr(node, "end_lineno", node.lineno)
+            ranges.append((first, last, frozenset(codes)))
+    return tuple(sorted(ranges))
+
+
+def parse_suppressions(
+    source: str, tree: Optional[ast.Module] = None
+) -> SuppressionIndex:
+    """Scan a file's text for suppression directives.
+
+    With ``tree`` given, directives on ``def``/decorator lines are widened to
+    whole-function ranges (honored only for deep findings, via
+    ``suppresses(..., function_scope=True)``).
+    """
     file_codes: Set[str] = set()
     line_codes: Dict[int, FrozenSet[str]] = {}
     for lineno, match in _iter_comment_directives(source):
@@ -73,7 +115,12 @@ def parse_suppressions(source: str) -> SuppressionIndex:
             file_codes.update(codes)
         else:
             line_codes[lineno] = line_codes.get(lineno, frozenset()) | codes
-    return SuppressionIndex(file_codes=frozenset(file_codes), line_codes=line_codes)
+    ranges: Tuple[Tuple[int, int, FrozenSet[str]], ...] = ()
+    if tree is not None and line_codes:
+        ranges = _function_ranges(tree, line_codes)
+    return SuppressionIndex(
+        file_codes=frozenset(file_codes), line_codes=line_codes, ranges=ranges
+    )
 
 
 def directive_lines(source: str) -> List[int]:

@@ -1,0 +1,290 @@
+"""Vectorizability classification of hot-path functions.
+
+The ROADMAP's top perf item is rewriting the per-page latency/variation
+loops with numpy.  Before anyone touches them, this module produces the
+machine-checked inventory: every function in the hot-path modules is
+classified as **pure**/impure (no attribute or global writes, no parameter
+mutation, no I/O, no RNG draws) and each of its loops as
+
+* ``map``    — element-wise: stores indexed by the loop variable, or
+  ``.append`` of a transform onto a locally created list;
+* ``reduce`` — accumulation: ``x += ...`` onto a scalar name;
+* ``mixed``  — anything else (``while`` loops, early exits, cross-iteration
+  dependencies the classifier can't rule out).
+
+``vector_report`` ranks the result: pure functions with map/reduce loops
+first — those are the ones a numpy rewrite can lift verbatim.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.lint.callgraph import iter_own_nodes
+from repro.lint.project import FunctionInfo, Project
+
+#: dotted module prefixes of the per-page hot path (ROADMAP vectorization item).
+HOT_PATH_MODULES = (
+    "repro.nand.variation",
+    "repro.nand.reliability",
+    "repro.ftl.mapping",
+    "repro.assembly.signatures",
+)
+
+_RNG_DRAWS = frozenset(
+    {
+        "integers",
+        "random",
+        "normal",
+        "standard_normal",
+        "lognormal",
+        "uniform",
+        "exponential",
+        "poisson",
+        "binomial",
+        "gamma",
+        "choice",
+        "shuffle",
+        "permutation",
+    }
+)
+_IO_CALLS = frozenset(
+    {"print", "open", "write_text", "write_bytes", "input", "emit", "record"}
+)
+_MUTATORS = frozenset(
+    {"append", "extend", "add", "insert", "update", "setdefault", "pop", "remove", "clear"}
+)
+
+
+@dataclass
+class LoopShape:
+    line: int
+    shape: str  # "map" | "reduce" | "mixed"
+
+
+@dataclass
+class FunctionClassification:
+    qualname: str
+    module: str
+    name: str
+    line: int
+    is_method: bool
+    pure: bool
+    impure_reasons: List[str] = field(default_factory=list)
+    loops: List[LoopShape] = field(default_factory=list)
+
+    @property
+    def score(self) -> int:
+        """Rank: pure map/reduce loops are the cheapest numpy wins."""
+        maps = sum(1 for loop in self.loops if loop.shape == "map")
+        reduces = sum(1 for loop in self.loops if loop.shape == "reduce")
+        mixed = sum(1 for loop in self.loops if loop.shape == "mixed")
+        return (10 if self.pure else 0) + 3 * maps + 2 * reduces + mixed
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "function": self.qualname,
+            "module": self.module,
+            "name": self.name,
+            "line": self.line,
+            "method": self.is_method,
+            "pure": self.pure,
+            "impure_reasons": sorted(set(self.impure_reasons)),
+            "loops": [{"line": loop.line, "shape": loop.shape} for loop in self.loops],
+            "score": self.score,
+        }
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _local_names(fn: FunctionInfo) -> Set[str]:
+    """Names the function itself binds (params + plain-name stores)."""
+    args = fn.node.args  # type: ignore[attr-defined]
+    names = {a.arg for a in getattr(args, "posonlyargs", [])}
+    names |= {a.arg for a in args.args}
+    names |= {a.arg for a in args.kwonlyargs}
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.add(extra.arg)
+    for node in iter_own_nodes(fn.node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, ast.comprehension):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for sub in ast.walk(item.optional_vars):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+    return names
+
+
+def _param_names(fn: FunctionInfo) -> Set[str]:
+    args = fn.node.args  # type: ignore[attr-defined]
+    names = {a.arg for a in getattr(args, "posonlyargs", [])}
+    names |= {a.arg for a in args.args}
+    names |= {a.arg for a in args.kwonlyargs}
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.add(extra.arg)
+    return names
+
+
+def _created_locally(fn: FunctionInfo) -> Set[str]:
+    """Names bound to fresh containers/values inside the function body."""
+    params = _param_names(fn)
+    created: Set[str] = set()
+    for node in iter_own_nodes(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id not in params:
+                    created.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id not in params:
+                created.add(node.target.id)
+    return created
+
+
+def _impure_reasons(fn: FunctionInfo) -> List[str]:
+    reasons: List[str] = []
+    created = _created_locally(fn)
+    for node in iter_own_nodes(fn.node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            reasons.append(f"rebinds outer name(s) {', '.join(node.names)}")
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    reasons.append(f"writes attribute {_dotted(target) or target.attr}")
+                elif isinstance(target, ast.Subscript):
+                    base = _dotted(target.value)
+                    head = (base or "").split(".")[0]
+                    if base is None or head not in created:
+                        reasons.append(f"mutates non-local container {base or '<expr>'}")
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            tail = dotted.split(".")[-1]
+            head = dotted.split(".")[0]
+            if dotted in _IO_CALLS or tail in ("write_text", "write_bytes", "emit"):
+                reasons.append(f"performs I/O via {dotted}()")
+            elif tail in _RNG_DRAWS and "." in dotted:
+                reasons.append(f"draws from an RNG via {dotted}()")
+            elif tail in _MUTATORS and "." in dotted and head not in created:
+                reasons.append(f"mutates non-local container via {dotted}()")
+    return reasons
+
+
+def _classify_loop(node: ast.For, fn: FunctionInfo) -> str:
+    loop_vars = {sub.id for sub in ast.walk(node.target) if isinstance(sub, ast.Name)}
+    created = _created_locally(fn)
+    saw_map = saw_reduce = saw_other = False
+    body_nodes: List[ast.AST] = []
+    stack: List[ast.AST] = list(node.body)
+    while stack:
+        child = stack.pop()
+        body_nodes.append(child)
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            stack.extend(ast.iter_child_nodes(child))
+    for child in body_nodes:
+        if isinstance(child, ast.AugAssign):
+            if isinstance(child.target, ast.Name):
+                saw_reduce = True
+            else:
+                saw_other = True
+        elif isinstance(child, ast.Assign):
+            for target in child.targets:
+                if isinstance(target, ast.Subscript):
+                    index_names = {
+                        sub.id
+                        for sub in ast.walk(target.slice)
+                        if isinstance(sub, ast.Name)
+                    }
+                    if index_names & loop_vars:
+                        saw_map = True
+                    else:
+                        saw_other = True
+                elif isinstance(target, ast.Attribute):
+                    saw_other = True
+        elif isinstance(child, ast.Call):
+            dotted = _dotted(child.func)
+            if dotted is not None and dotted.split(".")[-1] == "append":
+                if dotted.split(".")[0] in created:
+                    saw_map = True
+                else:
+                    saw_other = True
+        elif isinstance(child, (ast.Break, ast.Return, ast.While, ast.For)):
+            saw_other = True
+    if saw_other or (saw_map and saw_reduce):
+        return "mixed"
+    if saw_map:
+        return "map"
+    if saw_reduce:
+        return "reduce"
+    return "mixed"
+
+
+def classify_function(fn: FunctionInfo) -> FunctionClassification:
+    """Purity + loop-shape classification of one function."""
+    reasons = _impure_reasons(fn)
+    loops: List[LoopShape] = []
+    for node in iter_own_nodes(fn.node):
+        if isinstance(node, ast.For):
+            loops.append(LoopShape(line=node.lineno, shape=_classify_loop(node, fn)))
+        elif isinstance(node, (ast.While, ast.AsyncFor)):
+            loops.append(LoopShape(line=node.lineno, shape="mixed"))
+    loops.sort(key=lambda loop: loop.line)
+    return FunctionClassification(
+        qualname=fn.qualname,
+        module=fn.module,
+        name=fn.name,
+        line=fn.lineno,
+        is_method=fn.is_method,
+        pure=not reasons,
+        impure_reasons=reasons,
+        loops=loops,
+    )
+
+
+def hot_path_functions(project: Project) -> List[FunctionInfo]:
+    out: List[FunctionInfo] = []
+    for qualname in sorted(project.functions):
+        fn = project.functions[qualname]
+        if fn.module in HOT_PATH_MODULES and not fn.name.startswith("__"):
+            out.append(fn)
+    return out
+
+
+def vector_report(project: Project) -> Dict[str, object]:
+    """The ranked vectorization work-list (``repro lint --vector-report``)."""
+    classified = [classify_function(fn) for fn in hot_path_functions(project)]
+    classified.sort(key=lambda c: (-c.score, c.qualname))
+    return {
+        "generated_by": "repro lint --vector-report",
+        "modules": list(HOT_PATH_MODULES),
+        "function_count": len(classified),
+        "functions": [c.to_dict() for c in classified],
+    }

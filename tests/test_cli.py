@@ -376,3 +376,103 @@ class TestLintCommand:
     def test_lint_nonexistent_path_exits_two(self, capsys):
         assert main(["lint", "no/such/dir"]) == 2
         assert "no such path" in capsys.readouterr().err
+
+
+_DEEP_VIOLATION = textwrap.dedent(
+    """\
+    import os
+
+
+    def trace_names(root):
+        out = []
+        for name in os.listdir(root):
+            out.append(name)
+        return out
+    """
+)
+
+
+class TestDeepLintCommand:
+    def test_deep_repo_clean_modulo_baseline(self, capsys):
+        assert main(["lint", "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "reprolint: clean" in out
+        assert "grandfathered" in out
+
+    def test_deep_flags_dataflow_finding(self, capsys, tmp_path):
+        path = _seeded_tree(tmp_path, "manifest.py", _DEEP_VIOLATION)
+        assert main(["lint", str(path), "--deep"]) == 1
+        out = capsys.readouterr().out
+        assert "DET011" in out
+
+    def test_deep_sarif_output_validates(self, capsys, tmp_path):
+        from repro.lint.sarif import validate_sarif
+
+        path = _seeded_tree(tmp_path, "manifest.py", _DEEP_VIOLATION)
+        assert main(["lint", str(path), "--deep", "--format", "sarif"]) == 1
+        document = capsys.readouterr().out
+        assert validate_sarif(document) == []
+        parsed = json.loads(document)
+        assert parsed["version"] == "2.1.0"
+        assert any(
+            result["ruleId"] == "DET011" for result in parsed["runs"][0]["results"]
+        )
+
+    def test_write_baseline_then_clean(self, capsys, tmp_path):
+        path = _seeded_tree(tmp_path, "manifest.py", _DEEP_VIOLATION)
+        baseline = tmp_path / "baseline.json"
+        argv = ["lint", str(path), "--deep", "--baseline", str(baseline)]
+        assert main(argv + ["--write-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "reprolint: clean" in out
+        assert "grandfathered" in out
+
+    def test_vector_report_stdout(self, capsys):
+        assert main(["lint", "--vector-report"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["function_count"] >= 10
+        assert doc["functions"][0]["score"] >= doc["functions"][-1]["score"]
+
+    def test_vector_report_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "worklist.json"
+        assert main(["lint", "--vector-report", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["function_count"] >= 10
+
+    def test_changed_outside_git_exits_two(self, tmp_path, monkeypatch, capsys):
+        _seeded_tree(tmp_path, "manifest.py", _DEEP_VIOLATION)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "src", "--deep", "--changed"]) == 2
+        assert "git checkout" in capsys.readouterr().err
+
+    def test_changed_filters_to_dirty_files(self, tmp_path, monkeypatch, capsys):
+        import subprocess
+
+        path = _seeded_tree(tmp_path, "manifest.py", _DEEP_VIOLATION)
+        env = {
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(tmp_path),
+        }
+        for command in (
+            ["git", "init", "-q"],
+            ["git", "add", "-A"],
+            ["git", "commit", "-q", "-m", "seed"],
+        ):
+            subprocess.run(command, cwd=tmp_path, check=True, env=env)
+        monkeypatch.chdir(tmp_path)
+        # the only violation is committed, so --changed filters it out
+        assert main(["lint", "src", "--deep", "--changed"]) == 0
+        capsys.readouterr()
+        # a fresh (untracked) violating file is reported
+        dirty = path.parent / "fresh.py"
+        dirty.write_text(_DEEP_VIOLATION)
+        assert main(["lint", "src", "--deep", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "manifest.py" not in out

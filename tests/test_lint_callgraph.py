@@ -1,0 +1,238 @@
+"""Unit suite for the whole-program model and call graph.
+
+Covers the resolution cases the deep rules lean on: plain and aliased
+imports, ``self.method`` with base-class lookup, ``Class()`` landing on
+``__init__``, nested functions, recursion cycles, and the capped
+dynamic-dispatch fallback.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.project import Project
+
+
+def build(sources: Dict[str, str]) -> Project:
+    return Project.from_sources(
+        {module: textwrap.dedent(source) for module, source in sources.items()}
+    )
+
+
+# ---------------------------------------------------------------- project
+
+
+def test_functions_and_classes_are_indexed_by_qualname() -> None:
+    project = build(
+        {
+            "repro.a": """
+            def top():
+                pass
+
+            class Box:
+                def get(self):
+                    pass
+            """
+        }
+    )
+    assert "repro.a.top" in project.functions
+    assert "repro.a.Box" in project.classes
+    assert "repro.a.Box.get" in project.functions
+    assert project.functions["repro.a.Box.get"].is_method
+    assert project.classes["repro.a.Box"].methods["get"].qualname == "repro.a.Box.get"
+
+
+def test_import_alias_resolution() -> None:
+    project = build(
+        {
+            "repro.a": """
+            def helper():
+                pass
+            """,
+            "repro.b": """
+            from repro.a import helper as h
+
+            def caller():
+                h()
+            """,
+        }
+    )
+    assert project.resolve("repro.b", "h") == "repro.a.helper"
+
+
+def test_reexport_through_package_init() -> None:
+    project = build(
+        {
+            "repro.pkg.impl": """
+            def work():
+                pass
+            """,
+            "repro.pkg": """
+            from repro.pkg.impl import work
+            """,
+            "repro.user": """
+            from repro.pkg import work
+
+            def caller():
+                work()
+            """,
+        }
+    )
+    assert project.resolve("repro.user", "work") == "repro.pkg.impl.work"
+    graph = CallGraph(project)
+    callees = {edge.callee for edge in graph.callees("repro.user.caller")}
+    assert "repro.pkg.impl.work" in callees
+
+
+def test_module_level_mutables_are_recorded() -> None:
+    project = build(
+        {
+            "repro.a": """
+            CACHE = {}
+            NAMES = ["x"]
+            LIMIT = 7
+            """
+        }
+    )
+    mutables = project.modules["repro.a"].global_mutables
+    assert set(mutables) == {"CACHE", "NAMES"}
+
+
+# ---------------------------------------------------------------- call graph
+
+
+def test_plain_call_and_class_init_resolution() -> None:
+    project = build(
+        {
+            "repro.a": """
+            class Thing:
+                def __init__(self):
+                    pass
+
+            def make():
+                return Thing()
+
+            def chain():
+                return make()
+            """
+        }
+    )
+    graph = CallGraph(project)
+    assert {edge.callee for edge in graph.callees("repro.a.make")} == {
+        "repro.a.Thing.__init__"
+    }
+    assert {edge.callee for edge in graph.callees("repro.a.chain")} == {"repro.a.make"}
+
+
+def test_self_method_resolves_through_base_class() -> None:
+    project = build(
+        {
+            "repro.a": """
+            class Base:
+                def shared(self):
+                    pass
+
+            class Child(Base):
+                def run(self):
+                    self.shared()
+            """
+        }
+    )
+    graph = CallGraph(project)
+    callees = {edge.callee for edge in graph.callees("repro.a.Child.run")}
+    assert "repro.a.Base.shared" in callees
+
+
+def test_nested_function_called_by_bare_name() -> None:
+    project = build(
+        {
+            "repro.a": """
+            def outer():
+                def inner():
+                    pass
+                inner()
+            """
+        }
+    )
+    graph = CallGraph(project)
+    callees = {edge.callee for edge in graph.callees("repro.a.outer")}
+    assert callees == {"repro.a.outer.inner"}
+
+
+def test_recursion_cycle_is_bfs_safe() -> None:
+    project = build(
+        {
+            "repro.a": """
+            def ping(n):
+                return pong(n - 1)
+
+            def pong(n):
+                if n > 0:
+                    return ping(n)
+                return 0
+            """
+        }
+    )
+    graph = CallGraph(project)
+    reached = graph.reachable(["repro.a.ping"])
+    assert reached == {"repro.a.ping", "repro.a.pong"}
+
+
+def test_dynamic_dispatch_fallback_matches_methods_by_name() -> None:
+    project = build(
+        {
+            "repro.a": """
+            class Nand:
+                def read(self):
+                    pass
+
+            class Disk:
+                def read(self):
+                    pass
+
+            def poll(device):
+                device.read()
+            """
+        }
+    )
+    graph = CallGraph(project)
+    edges = graph.callees("repro.a.poll")
+    assert {edge.callee for edge in edges} == {
+        "repro.a.Nand.read",
+        "repro.a.Disk.read",
+    }
+    assert all(edge.fallback for edge in edges)
+    # precision mode drops the speculative edges entirely
+    assert graph.callees("repro.a.poll", include_fallback=False) == []
+
+
+def test_fallback_fanout_is_capped() -> None:
+    classes = "\n".join(
+        f"class C{i}:\n    def read(self):\n        pass\n"
+        for i in range(CallGraph.MAX_FALLBACK_TARGETS + 1)
+    )
+    project = build({"repro.a": classes + "\ndef poll(device):\n    device.read()\n"})
+    graph = CallGraph(project)
+    assert graph.callees("repro.a.poll") == []
+
+
+def test_callers_is_the_reverse_view() -> None:
+    project = build(
+        {
+            "repro.a": """
+            def helper():
+                pass
+
+            def one():
+                helper()
+
+            def two():
+                helper()
+            """
+        }
+    )
+    graph = CallGraph(project)
+    callers = {edge.caller for edge in graph.callers("repro.a.helper")}
+    assert callers == {"repro.a.one", "repro.a.two"}
