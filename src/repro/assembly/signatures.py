@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterable
 import numpy as np
 
 from repro.characterization.datasets import BlockMeasurement
+from repro.perf.profiler import perf_scope
 
 
 def _stable_ranks(values: np.ndarray) -> np.ndarray:
@@ -108,7 +109,10 @@ class SignatureCache:
         key = id(measurement)
         cached = self._cache.get(key)
         if cached is None:
-            cached = self._builder(measurement)
+            # Only the miss path is profiled: the kernels themselves stay
+            # pure (they are baselined VEC001 / vector-worklist entries).
+            with perf_scope("assembly.signatures"):
+                cached = self._builder(measurement)
             cached.setflags(write=False)
             self._cache[key] = cached
         return cached

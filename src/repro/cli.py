@@ -245,8 +245,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         write_chrome,
         write_jsonl,
     )
+    from repro.perf import Stopwatch
     from repro.workloads import Replayer
 
+    total_watch = Stopwatch()
     tracer = Tracer()
     registry = MetricsRegistry()
     stack = build_stack(
@@ -259,10 +261,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     ftl = ssd.ftl
     requests = stack.requests()
     print(f"running {len(requests)} requests (traced) ...", file=sys.stderr)
+    replay_watch = Stopwatch()
     try:
         report = Replayer(ssd).replay(requests)
     except OutOfSpaceError as error:
         return _out_of_space(args, error)
+    replay_wall_s = replay_watch.elapsed_s()
     print(f"\nallocator: {args.allocator}")
     for op, op_summary in report.summary().items():
         print(
@@ -303,6 +307,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.jsonl:
         write_jsonl(args.jsonl, tracer.events)
         print(f"wrote JSONL event log: {args.jsonl}", file=sys.stderr)
+    # Host-side perf telemetry goes to stderr: stdout stays byte-identical
+    # across machines (the determinism CI job compares it verbatim).
+    ops_per_s = len(requests) / replay_wall_s if replay_wall_s > 0 else 0.0
+    print(
+        f"host perf: {len(requests)} requests in {replay_wall_s:.3f}s wall "
+        f"({ops_per_s:,.0f} ops/s)",
+        file=sys.stderr,
+    )
     if args.summary:
         doc = {
             "allocator": args.allocator,
@@ -310,6 +322,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             "requests": len(requests),
             "ftl": metrics,
             "registry": registry.snapshot(elapsed_us=ssd.metrics.last_finish_us),
+            # Wall-clock telemetry (machine-dependent by nature); consumers
+            # comparing summaries for determinism must ignore this key.
+            "perf": {
+                "wall_s": round(total_watch.elapsed_s(), 6),
+                "replay_wall_s": round(replay_wall_s, 6),
+                "ops_per_s": round(ops_per_s, 3),
+            },
         }
         Path(args.summary).write_text(
             json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -352,7 +371,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.exp import ResultCache, Sweep, default_cache_dir
+    from repro.exp import ResultCache, Sweep, SweepProgress, default_cache_dir
     from repro.exp import run as run_sweep
     from repro.obs import MetricsRegistry
 
@@ -394,15 +413,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             Path(args.cache_dir) if args.cache_dir else default_cache_dir()
         )
     registry = MetricsRegistry()
+
+    def live_progress(snapshot: "SweepProgress") -> None:
+        if snapshot.eta_s is None:
+            eta = "eta ?"
+        else:
+            eta = f"eta {snapshot.eta_s:5.1f}s"
+        line = (
+            f"progress {snapshot.done}/{snapshot.total} cells "
+            f"({snapshot.cached} cached"
+            + (f", {snapshot.failed} failed" if snapshot.failed else "")
+            + f") {snapshot.elapsed_s:.1f}s elapsed, {eta}"
+        )
+        end = "\n" if snapshot.done == snapshot.total else "\r"
+        print(line, file=sys.stderr, end=end, flush=True)
+
     result = run_sweep(
         sweep,
         workers=args.workers,
         cache=cache,
         force=args.force,
         registry=registry,
-        echo=lambda line: print(line, file=sys.stderr),
+        echo=None if args.progress else (lambda line: print(line, file=sys.stderr)),
         cell_timeout=args.cell_timeout,
         retries=args.retries,
+        progress=live_progress if args.progress else None,
     )
     failures = result.failures
     tail = f", {failures} FAILED" if failures else ""
@@ -411,6 +446,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{result.cache_hits} cache hits, {result.cache_misses} misses "
         f"(workers={args.workers}){tail}"
     )
+    print(f"sweep wall-clock: {result.wall_s:.2f}s", file=sys.stderr)
     for item in result.cells:
         state = "FAILED" if item.failed else ("hit" if item.cached else "run")
         print(f"  [{item.cell.index:4d}] {item.cell.label():40s} "
@@ -427,6 +463,92 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(f"wrote sweep manifest: {args.manifest}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import math
+    from pathlib import Path
+
+    from repro.perf import (
+        FULL,
+        QUICK,
+        compare_docs,
+        hotspot_rows,
+        profiled_replay,
+        render_comparison,
+        render_hotspots,
+        render_profile,
+        render_suite,
+        run_suite,
+        validate_bench_doc,
+    )
+
+    scale = FULL if args.full else QUICK
+
+    if args.profile:
+        print(render_profile(profiled_replay(scale)))
+        return 0
+    if args.hotspots:
+        rows = hotspot_rows(scale, top=args.top)
+        print(render_hotspots(rows))
+        return 0
+
+    if args.against:
+        try:
+            doc = json.loads(Path(args.against).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            print(f"repro bench: cannot read --against document: {error}",
+                  file=sys.stderr)
+            return 2
+    else:
+        doc = run_suite(
+            scale,
+            repetitions=args.repetitions,
+            echo=lambda line: print(line, file=sys.stderr),
+        )
+        errors = validate_bench_doc(doc)
+        if errors:
+            for error in errors:
+                print(f"repro bench: schema error: {error}", file=sys.stderr)
+            return 2
+        out = Path(args.output) if args.output else Path(f"BENCH_{doc['git_sha']}.json")
+        out.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(render_suite(doc))
+        print(f"wrote bench document: {out}", file=sys.stderr)
+
+    if args.compare:
+        try:
+            baseline = json.loads(Path(args.compare).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            print(f"repro bench: cannot read baseline: {error}", file=sys.stderr)
+            return 2
+        tolerance_scale = args.tolerance_scale
+        if tolerance_scale is None:
+            import os
+
+            raw = os.environ.get("REPRO_BENCH_TOLERANCE_SCALE", "1")
+            try:
+                tolerance_scale = float(raw)
+            except ValueError:
+                print(
+                    f"repro bench: bad $REPRO_BENCH_TOLERANCE_SCALE {raw!r}",
+                    file=sys.stderr,
+                )
+                return 2
+        if not math.isfinite(tolerance_scale) or tolerance_scale <= 0:
+            print(
+                f"repro bench: tolerance scale must be positive, got "
+                f"{tolerance_scale}",
+                file=sys.stderr,
+            )
+            return 2
+        outcome = compare_docs(doc, baseline, scale=tolerance_scale)
+        print(render_comparison(outcome))
+        return 0 if outcome.passed else 1
+    return 0
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
@@ -702,7 +824,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true", help="print the expanded grid and exit"
     )
     sweep.add_argument("--manifest", help="write the sweep manifest JSON here")
+    sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress line (done/cached/failed, elapsed, ETA) on stderr "
+        "instead of per-cell echo",
+    )
     sweep.set_defaults(func=cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark suite with baseline regression gate",
+    )
+    bench_scale = bench.add_mutually_exclusive_group()
+    bench_scale.add_argument(
+        "--quick",
+        action="store_true",
+        help="pinned quick suite (default; the one CI runs)",
+    )
+    bench_scale.add_argument(
+        "--full", action="store_true", help="larger suite, more repetitions"
+    )
+    bench.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="override median-of-N repetition count",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="bench document path (default BENCH_<git-sha>.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="compare against a baseline BENCH_*.json; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--against",
+        metavar="CURRENT",
+        default=None,
+        help="load an existing bench document instead of running the suite "
+        "(for CI run-vs-run agreement checks)",
+    )
+    bench.add_argument(
+        "--tolerance-scale",
+        type=float,
+        default=None,
+        help="multiply every metric's noise tolerance band "
+        "(default $REPRO_BENCH_TOLERANCE_SCALE or 1.0)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a hierarchical wall-time profile of one replay and exit",
+    )
+    bench.add_argument(
+        "--hotspots",
+        action="store_true",
+        help="cProfile deep mode: hottest functions cross-referenced "
+        "against tools/vector_worklist.json",
+    )
+    bench.add_argument(
+        "--top", type=int, default=15, help="row count for --hotspots"
+    )
+    bench.set_defaults(func=cmd_bench)
 
     overhead = sub.add_parser("overhead", help="Section VI overhead numbers")
     overhead.add_argument("--window", type=int, default=4)

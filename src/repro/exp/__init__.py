@@ -47,6 +47,7 @@ from repro.exp.sweep import (
     CellResult,
     CellTimeoutError,
     Sweep,
+    SweepProgress,
     SweepResult,
     dig,
     run,
@@ -76,6 +77,7 @@ __all__ = [
     "Cell",
     "CellResult",
     "CellTimeoutError",
+    "SweepProgress",
     "SweepResult",
     "run",
     "dig",

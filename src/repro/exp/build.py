@@ -30,6 +30,7 @@ from repro.nand.geometry import NandGeometry
 from repro.nand.variation import VariationModel
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.perf.profiler import profiled
 from repro.ssd.device import Ssd
 from repro.workloads.model import Request
 
@@ -164,6 +165,7 @@ def synthetic_requests(
     return requests
 
 
+@profiled("build.stack")
 def build_stack(
     config: SimConfig,
     *,

@@ -45,6 +45,7 @@ from repro.exp.cache import ResultCache, cell_key, code_salt, to_jsonable
 from repro.exp.config import SimConfig
 from repro.exp.tasks import TASKS, Task
 from repro.obs.registry import MetricsRegistry
+from repro.perf.profiler import Stopwatch, perf_scope
 from repro.utils.rng import derive_seed
 
 AxisValue = Any
@@ -152,6 +153,12 @@ class CellResult:
     ``failed`` marks a structured failure row (the cell's task raised or
     timed out on every attempt); its ``result`` then carries the error
     shape from :func:`_failure_row` instead of task output.
+
+    ``wall_s`` is host wall-clock telemetry (cache-lookup time for hits,
+    task execution time summed over attempts for computed cells) measured
+    through the sanctioned ``repro.perf`` fence; it describes the *run*,
+    never the simulated device, and is excluded from cache keys and CI
+    result comparisons.
     """
 
     cell: Cell
@@ -159,6 +166,27 @@ class CellResult:
     cached: bool
     key: str
     failed: bool = False
+    wall_s: float = 0.0
+    attempts: int = 1
+
+    @property
+    def provenance(self) -> str:
+        """Where the result came from: ``"cache"`` or ``"computed"``."""
+        return "cache" if self.cached else "computed"
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress snapshot handed to ``run(..., progress=...)`` callbacks."""
+
+    total: int
+    done: int
+    cached: int
+    failed: int
+    elapsed_s: float
+    #: estimated seconds to completion, or ``None`` until one computed
+    #: cell has finished (cache hits are ~free and would skew the rate).
+    eta_s: Optional[float]
 
 
 @dataclass
@@ -168,6 +196,8 @@ class SweepResult:
     task: str
     salt: str
     cells: List[CellResult]
+    #: total host wall-clock of the run (telemetry; see CellResult.wall_s).
+    wall_s: float = 0.0
 
     @property
     def cache_hits(self) -> int:
@@ -189,8 +219,12 @@ class SweepResult:
         """The JSON manifest the CLI writes (and CI uploads).
 
         The ``failures`` count (and per-cell ``failed`` markers) appear
-        only when a cell actually failed, so clean-run manifests stay
-        byte-identical to pre-fault-layer ones.
+        only when a cell actually failed, so clean-run manifests keep
+        their historical key set plus the timing telemetry.  ``wall_s`` /
+        ``attempts`` / ``provenance`` are recorded for *every* cell
+        (previously only failure rows carried attempt counts); they are
+        host-side telemetry, so manifest consumers comparing results must
+        compare the ``result`` values, never whole rows.
         """
         doc: Dict[str, Any] = {
             "task": self.task,
@@ -198,6 +232,7 @@ class SweepResult:
             "cell_count": len(self.cells),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "wall_s": round(self.wall_s, 6),
         }
         if self.failures:
             doc["failures"] = self.failures
@@ -208,6 +243,9 @@ class SweepResult:
                     "config_hash": item.cell.config_hash,
                     "key": item.key,
                     "cached": item.cached,
+                    "provenance": item.provenance,
+                    "wall_s": round(item.wall_s, 6),
+                    "attempts": item.attempts,
                     **({"failed": True} if item.failed else {}),
                     "result": item.result,
                 }
@@ -280,6 +318,20 @@ def _execute_cell(payload: Tuple[Any, ...]) -> Dict[str, Any]:
     return jsonable
 
 
+@worker_entrypoint
+def _execute_cell_timed(payload: Tuple[Any, ...]) -> Tuple[float, Dict[str, Any]]:
+    """:func:`_execute_cell` plus its wall-clock seconds, measured in-worker.
+
+    Timing inside the worker process means the number is pure task
+    execution — pool queueing and result pickling are excluded.  The
+    duration is telemetry for the sweep manifest, never part of the
+    cached result document.
+    """
+    watch = Stopwatch()
+    result = _execute_cell(payload)
+    return (watch.elapsed_s(), result)
+
+
 def _failure_row(error: BaseException, attempts: int) -> Dict[str, Any]:
     """The structured result recorded for a cell that exhausted retries."""
     return {
@@ -312,6 +364,7 @@ def run(
     echo: Optional[Callable[[str], None]] = None,
     cell_timeout: Optional[float] = None,
     retries: int = 0,
+    progress: Optional[Callable[[SweepProgress], None]] = None,
 ) -> SweepResult:
     """Execute every cell of ``sweep`` and return results in grid order.
 
@@ -328,6 +381,12 @@ def run(
     attempts records a structured failure row (never cached, flagged in
     the manifest) instead of killing the sweep, and a broken process
     pool downgrades the remaining cells to serial execution.
+
+    Telemetry: each returned cell carries its host wall-clock cost
+    (cache-lookup time for hits, in-worker execution time for computed
+    cells) and attempt count, and ``progress`` (if given) receives a
+    :class:`SweepProgress` snapshot — done/cached/failed counts, elapsed
+    seconds and an ETA — after every completed cell.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
@@ -336,27 +395,73 @@ def run(
     task: Task = TASKS[sweep.task]
     salt = code_salt(task.modules)
     cells = sweep.cells()
+    sweep_watch = Stopwatch()
     if registry is not None:
         registry.counter("sweep.cells").inc(len(cells))
     results: List[Optional[CellResult]] = [None] * len(cells)
     pending: List[Tuple[Cell, str]] = []
+
+    def emit_progress() -> None:
+        if progress is None:
+            return
+        complete_now = [item for item in results if item is not None]
+        done = len(complete_now)
+        cached_n = sum(1 for item in complete_now if item.cached)
+        failed_n = sum(1 for item in complete_now if item.failed)
+        computed = done - cached_n
+        remaining = len(cells) - done
+        elapsed = sweep_watch.elapsed_s()
+        eta: Optional[float]
+        if remaining == 0:
+            eta = 0.0
+        elif computed > 0:
+            # Cache hits are ~free, so rate the remaining (all-computed)
+            # cells on the computed throughput observed so far.
+            eta = elapsed / computed * remaining
+        else:
+            eta = None
+        progress(
+            SweepProgress(
+                total=len(cells),
+                done=done,
+                cached=cached_n,
+                failed=failed_n,
+                elapsed_s=elapsed,
+                eta_s=eta,
+            )
+        )
+
     for cell in cells:
         key = cell_key(sweep.task, cell.config, cell.params, salt)
+        lookup = Stopwatch()
         hit = cache.get(key) if (cache is not None and not force) else None
         if hit is not None:
-            results[cell.index] = CellResult(cell=cell, result=hit, cached=True, key=key)
+            results[cell.index] = CellResult(
+                cell=cell,
+                result=hit,
+                cached=True,
+                key=key,
+                wall_s=lookup.elapsed_s(),
+            )
             if registry is not None:
                 registry.counter("sweep.cache_hits").inc()
                 registry.counter("sweep.cells_done").inc()
             if echo is not None:
                 echo(f"cell {cell.index + 1}/{len(cells)} [{cell.label()}] cached")
+            emit_progress()
         else:
             pending.append((cell, key))
             if registry is not None:
                 registry.counter("sweep.cache_misses").inc()
 
     def finish(
-        cell: Cell, key: str, result: Dict[str, Any], *, failed: bool = False
+        cell: Cell,
+        key: str,
+        result: Dict[str, Any],
+        *,
+        failed: bool = False,
+        wall_s: float = 0.0,
+        attempts: int = 1,
     ) -> None:
         # Failure rows are never persisted: a later run with the bug (or
         # flake) gone must recompute the cell, not replay the failure.
@@ -372,7 +477,13 @@ def run(
                 },
             )
         results[cell.index] = CellResult(
-            cell=cell, result=result, cached=False, key=key, failed=failed
+            cell=cell,
+            result=result,
+            cached=False,
+            key=key,
+            failed=failed,
+            wall_s=wall_s,
+            attempts=attempts,
         )
         if registry is not None:
             registry.counter("sweep.cells_done").inc()
@@ -381,17 +492,22 @@ def run(
         if echo is not None:
             state = "FAILED" if failed else "done"
             echo(f"cell {cell.index + 1}/{len(cells)} [{cell.label()}] {state}")
+        emit_progress()
 
     def payload_for(cell: Cell) -> Tuple[Any, ...]:
         return (sweep.task, cell.config, cell.params, cell_timeout)
 
     def run_serially(cell: Cell, key: str) -> None:
         attempts = 0
+        spent_s = 0.0
         while True:
             attempts += 1
+            attempt_watch = Stopwatch()
             try:
-                result = _execute_cell(payload_for(cell))
+                with perf_scope("sweep.cell"):
+                    result = _execute_cell(payload_for(cell))
             except Exception as error:  # noqa: BLE001 — converted to a row
+                spent_s += attempt_watch.elapsed_s()
                 if attempts <= retries:
                     if echo is not None:
                         echo(
@@ -401,9 +517,17 @@ def run(
                         )
                     time.sleep(_retry_backoff_s(sweep.base.seed, cell.index, attempts))
                     continue
-                finish(cell, key, _failure_row(error, attempts), failed=True)
+                finish(
+                    cell,
+                    key,
+                    _failure_row(error, attempts),
+                    failed=True,
+                    wall_s=spent_s,
+                    attempts=attempts,
+                )
                 return
-            finish(cell, key, result)
+            spent_s += attempt_watch.elapsed_s()
+            finish(cell, key, result, wall_s=spent_s, attempts=attempts)
             return
 
     serial_cells: List[Tuple[Cell, str]] = []
@@ -416,7 +540,7 @@ def run(
                     max_workers=min(workers, len(pending))
                 ) as pool:
                     futures = {
-                        pool.submit(_execute_cell, payload_for(cell)): (cell, key)
+                        pool.submit(_execute_cell_timed, payload_for(cell)): (cell, key)
                         for cell, key in pending
                     }
                     attempts = {cell.index: 1 for cell, _ in pending}
@@ -426,7 +550,7 @@ def run(
                         for future in done:
                             cell, key = futures.pop(future)
                             try:
-                                result = future.result()
+                                cell_wall_s, result = future.result()
                             except BrokenProcessPool:
                                 raise
                             except Exception as error:  # noqa: BLE001
@@ -446,7 +570,7 @@ def run(
                                         )
                                     )
                                     retry = pool.submit(
-                                        _execute_cell, payload_for(cell)
+                                        _execute_cell_timed, payload_for(cell)
                                     )
                                     futures[retry] = (cell, key)
                                     remaining.add(retry)
@@ -456,9 +580,16 @@ def run(
                                         key,
                                         _failure_row(error, made),
                                         failed=True,
+                                        attempts=made,
                                     )
                             else:
-                                finish(cell, key, result)
+                                finish(
+                                    cell,
+                                    key,
+                                    result,
+                                    wall_s=cell_wall_s,
+                                    attempts=attempts[cell.index],
+                                )
             except BrokenProcessPool:
                 # A worker died hard (OOM-kill, segfault in a native lib).
                 # Cells are pure functions of their payloads, so the safe
@@ -475,4 +606,9 @@ def run(
         run_serially(cell, key)
     complete = [item for item in results if item is not None]
     assert len(complete) == len(cells)
-    return SweepResult(task=sweep.task, salt=salt, cells=complete)
+    return SweepResult(
+        task=sweep.task,
+        salt=salt,
+        cells=complete,
+        wall_s=sweep_watch.elapsed_s(),
+    )

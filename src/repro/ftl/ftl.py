@@ -34,6 +34,7 @@ from repro.nand.errors import EnduranceExceededError, UncorrectableReadError
 from repro.nand.geometry import PageType
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.perf.profiler import profiled
 from repro.utils.rng import derive_seed
 
 
@@ -244,6 +245,7 @@ class Ftl:
             return WriteStream.FAST_BULK
         return WriteStream.FAST
 
+    @profiled("ftl.write")
     def write(
         self,
         lpn: int,
@@ -287,6 +289,7 @@ class Ftl:
         self._maybe_collect()
         return reports
 
+    @profiled("ftl.allocate")
     def _allocate_superblock(self, speed_class: SpeedClass) -> ManagedSuperblock:
         try:
             members = self.allocator.allocate(speed_class)
@@ -354,6 +357,7 @@ class Ftl:
             return self._pick_steered_superblock(stream)
         return self._open_superblock(stream.speed_class)
 
+    @profiled("ftl.flush")
     def _flush_superwl(
         self, stream: WriteStream, allow_partial: bool = False
     ) -> FlushReport:
@@ -728,6 +732,7 @@ class Ftl:
 
     # -- read path -----------------------------------------------------------------------
 
+    @profiled("ftl.read")
     def read(self, lpn: int) -> ReadResult:
         """Read one page; verifies stored payload integrity.
 
@@ -867,6 +872,7 @@ class Ftl:
             candidates, key=lambda sb: (self.mapper.valid_count(sb.sb_id), sb.sb_id)
         )
 
+    @profiled("ftl.gc")
     def _collect_once(self) -> bool:
         """Relocate one victim superblock's valid pages and erase it."""
         victim = self._pick_victim()

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.perf.profiler import profiled
+
 
 class MappingError(Exception):
     """Invalid logical page or inconsistent map update."""
@@ -42,6 +44,7 @@ class PageMapper:
 
     # -- updates --------------------------------------------------------------
 
+    @profiled("ftl.map")
     def map_page(self, lpn: int, location: PhysicalSlot) -> Optional[PhysicalSlot]:
         """Point ``lpn`` at a new physical slot; returns the stale slot if any."""
         self.check_lpn(lpn)
@@ -89,6 +92,7 @@ class PageMapper:
 
     # -- lookups ---------------------------------------------------------------
 
+    @profiled("ftl.map")
     def lookup(self, lpn: int) -> Optional[PhysicalSlot]:
         self.check_lpn(lpn)
         return self._l2p.get(lpn)

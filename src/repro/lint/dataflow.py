@@ -115,6 +115,21 @@ _ACCESSORS = frozenset({"get", "pop", "popitem", "getdefault"})
 #: decorator tails marking a sweep/process worker entry point.
 ENTRYPOINT_DECORATORS = frozenset({"worker_entrypoint", "register_task"})
 
+#: the sanctioned wall-clock owner: ``repro.perf`` exists to measure host
+#: time (DET001/OBS001 release ``time.perf_counter`` to it), so durations it
+#: stores in its own profiler state or returns to callers (sweep timing,
+#: ``repro bench`` documents) are measurements, not nondeterminism leaking
+#: into simulation.  Wallclock taint is therefore dropped at perf-module
+#: sinks and perf-function returns; every other kind (fsorder, objid, rng)
+#: is still tracked there, and wallclock produced anywhere else still flows.
+_PERF_SANCTIONED_PREFIX = "repro.perf"
+
+
+def _perf_sanctioned(module: str) -> bool:
+    return module == _PERF_SANCTIONED_PREFIX or module.startswith(
+        _PERF_SANCTIONED_PREFIX + "."
+    )
+
 
 @dataclass(frozen=True)
 class SinkHit:
@@ -238,6 +253,8 @@ class _FunctionState:
 
     def _hit(self, node: ast.AST, kind: str, sink: str, detail: str) -> None:
         if not self.collect:
+            return
+        if kind == WALLCLOCK and _perf_sanctioned(self.fn.module):
             return
         self.analysis.sink_hits.append(
             SinkHit(
@@ -543,6 +560,8 @@ class _FunctionState:
             return
         if isinstance(stmt, ast.Return):
             taint = self.eval(stmt.value)
+            if _perf_sanctioned(self.fn.module):
+                taint = taint - {WALLCLOCK}
             summary = self.analysis.summaries[self.fn.qualname]
             summary.returns.update(taint - {_EXECUTOR})
             if FSORDER in taint:

@@ -4,7 +4,7 @@ The simulator is layered as a DAG::
 
     utils → faults → nand → characterization → assembly → core → ftl → ssd
         ↘ obs ————— (importable by core / ftl / ssd / …) ———————→ workloads
-                                                               → exp
+        ↘ perf ——— (importable by every simulation layer) ——————→ exp
                                                                → analysis
                                                                → lint / cli / api
 
@@ -14,7 +14,11 @@ import from (its own layer is always allowed).  ``characterization``,
 band the order is characterization < assembly < core, matching how signatures
 feed assemblers feed the placement core.  ``obs`` (tracing, histograms,
 metrics registry) sits directly above ``utils`` so every simulation layer
-from ``core`` up can emit into it without inverting the DAG.  ``faults``
+from ``core`` up can emit into it without inverting the DAG.  ``perf``
+(wall-clock profiling — the only package allowed to read the host clock)
+likewise sits directly above ``utils``: every layer calls its no-op-when-
+inactive ``perf_scope`` hooks, so the fence must live below them all.
+``faults``
 (deterministic fault plans and injectors) also sits directly above ``utils``:
 chips consult an injector on every operation, so the package must live
 *below* ``nand``, and the layers that schedule faults (``exp`` configs,
@@ -36,20 +40,33 @@ from typing import Dict, FrozenSet, Tuple
 #: subpackage -> subpackages it may import from (besides itself and stdlib).
 LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
     "utils": frozenset(),
-    "obs": frozenset({"utils"}),
+    "obs": frozenset({"perf", "utils"}),
+    "perf": frozenset({"utils"}),
     "faults": frozenset({"utils"}),
-    "nand": frozenset({"faults", "utils"}),
-    "characterization": frozenset({"faults", "nand", "utils"}),
-    "assembly": frozenset({"faults", "characterization", "nand", "utils"}),
+    "nand": frozenset({"perf", "faults", "utils"}),
+    "characterization": frozenset({"perf", "faults", "nand", "utils"}),
+    "assembly": frozenset(
+        {"perf", "faults", "characterization", "nand", "utils"}
+    ),
     "core": frozenset(
-        {"obs", "faults", "assembly", "characterization", "nand", "utils"}
+        {"obs", "perf", "faults", "assembly", "characterization", "nand", "utils"}
     ),
     "ftl": frozenset(
-        {"obs", "faults", "core", "assembly", "characterization", "nand", "utils"}
+        {
+            "obs",
+            "perf",
+            "faults",
+            "core",
+            "assembly",
+            "characterization",
+            "nand",
+            "utils",
+        }
     ),
     "ssd": frozenset(
         {
             "obs",
+            "perf",
             "faults",
             "ftl",
             "core",
@@ -62,6 +79,7 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
     "workloads": frozenset(
         {
             "obs",
+            "perf",
             "faults",
             "ssd",
             "ftl",
@@ -75,6 +93,7 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
     "exp": frozenset(
         {
             "obs",
+            "perf",
             "faults",
             "workloads",
             "ssd",
@@ -89,6 +108,7 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
     "analysis": frozenset(
         {
             "obs",
+            "perf",
             "faults",
             "exp",
             "workloads",
@@ -115,8 +135,22 @@ TOP_LEVEL_MODULES: FrozenSet[str] = frozenset(
 #: * ``ssd → workloads.model`` — the device consumes the pure ``Request`` /
 #:   ``OpKind`` data model (no behavior, no back-import at runtime; the
 #:   reverse edge in ``workloads.replay`` is ``TYPE_CHECKING``-only).
+#: * ``perf → exp.* / workloads.replay / assembly.signatures`` — the pinned
+#:   ``repro bench`` suite (``perf.bench``) drives full device stacks and
+#:   sweeps to time them.  All six edges are *deferred* (function-local)
+#:   imports that execute only when ``run_suite`` is invoked from the CLI,
+#:   never at import of the profiling fence the lower layers use, so the
+#:   runtime import graph stays acyclic.
 LAYER_EXCEPTIONS: FrozenSet[Tuple[str, str]] = frozenset(
-    {("ssd", "workloads.model")}
+    {
+        ("ssd", "workloads.model"),
+        ("perf", "exp.build"),
+        ("perf", "exp.cache"),
+        ("perf", "exp.config"),
+        ("perf", "exp.sweep"),
+        ("perf", "workloads.replay"),
+        ("perf", "assembly.signatures"),
+    }
 )
 
 

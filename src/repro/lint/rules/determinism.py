@@ -6,6 +6,12 @@ Simulated time is advanced explicitly by the timing model
 a ``set`` directly leaks hash-order into block placement decisions — wrap it
 in ``sorted(...)`` to fix the order.  Both rules are scoped to the simulator
 package: benchmarks and tools may legitimately measure wall time.
+
+One reviewed carve-out: ``repro.perf`` (the wall-clock performance
+observability layer) may read ``time.perf_counter`` / ``perf_counter_ns`` —
+it exists to measure the simulator from outside, and the deep linter
+verifies its durations never flow into simulation state.  Day-of-wall
+time, ``datetime`` and entropy sources stay banned even there.
 """
 
 from __future__ import annotations
@@ -46,11 +52,27 @@ _BANNED_FROM_IMPORTS = frozenset(
         ("time", "time_ns"),
         ("time", "monotonic"),
         ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
         ("os", "urandom"),
         ("uuid", "uuid1"),
         ("uuid", "uuid4"),
     }
 )
+
+#: the one sanctioned carve-out: ``repro.perf`` owns the host clock.  Only
+#: the monotonic performance counter is released to it — wall-of-day time,
+#: datetime and entropy sources stay banned even there, and the deep
+#: linter's dataflow pass audits that perf-produced durations never reach
+#: simulation state.
+_PERF_PACKAGE = "repro.perf"
+_PERF_ALLOWED_DOTTED = frozenset({"time.perf_counter", "time.perf_counter_ns"})
+_PERF_ALLOWED_FROM = frozenset(
+    {("time", "perf_counter"), ("time", "perf_counter_ns")}
+)
+
+
+def _in_perf_package(module: str) -> bool:
+    return module == _PERF_PACKAGE or module.startswith(_PERF_PACKAGE + ".")
 
 
 @register_rule
@@ -65,6 +87,7 @@ class WallClockRead(Rule):
     scope_prefixes = ("repro",)
 
     def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        in_perf = _in_perf_package(ctx.module)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Attribute):
                 dotted = self.dotted_name(node)
@@ -72,6 +95,11 @@ class WallClockRead(Rule):
                     continue
                 tail = ".".join(dotted.split(".")[-2:])
                 if dotted in _BANNED_DOTTED or tail in _BANNED_DOTTED:
+                    if in_perf and (
+                        dotted in _PERF_ALLOWED_DOTTED
+                        or tail in _PERF_ALLOWED_DOTTED
+                    ):
+                        continue
                     yield ctx.finding(
                         self, node, f"use of '{dotted}' — " + self.description
                     )
@@ -79,6 +107,8 @@ class WallClockRead(Rule):
                 module = node.module or ""
                 for alias in node.names:
                     if (module, alias.name) in _BANNED_FROM_IMPORTS:
+                        if in_perf and (module, alias.name) in _PERF_ALLOWED_FROM:
+                            continue
                         yield ctx.finding(
                             self,
                             node,

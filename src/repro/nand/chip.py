@@ -21,6 +21,7 @@ from repro.nand import errors
 from repro.nand.geometry import NandGeometry, PageType
 from repro.nand.reliability import EccEngine, ReadCorrection
 from repro.nand.variation import ChipVariationProfile
+from repro.perf.profiler import profiled
 from repro.utils.rng import derive_seed
 
 
@@ -180,6 +181,7 @@ class FlashChip:
 
     # -- single-plane operations ----------------------------------------------
 
+    @profiled("nand.erase")
     def erase_block(self, plane: int, block: int) -> OperationResult:
         """Erase a block; returns tBERS.  Worn-out blocks fail and retire."""
         state = self._state(plane, block)
@@ -210,6 +212,7 @@ class FlashChip:
         state.pages.clear()
         return OperationResult(latency_us=latency)
 
+    @profiled("nand.program")
     def program_wordline(
         self,
         plane: int,
@@ -295,6 +298,7 @@ class FlashChip:
         state.next_lwl = 0
         state.pages.clear()
 
+    @profiled("nand.read")
     def read_page(
         self, plane: int, block: int, lwl: int, page_type: PageType
     ) -> Tuple[OperationResult, object]:

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.nand.geometry import NandGeometry, PageType
 from repro.nand.reliability import ReliabilityParams, rber
+from repro.perf.profiler import profiled
 from repro.utils.rng import RngFactory
 
 
@@ -373,6 +374,7 @@ class ChipVariationProfile:
 
     # -- latency accessors --------------------------------------------------------
 
+    @profiled("nand.variation")
     def block_program_latencies(self, plane: int, block: int, pe: int = 0) -> np.ndarray:
         """tPROG of every LWL in a block, shape ``(layers, strings)``, µs.
 

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Sequence, Union
 
 from repro.obs.tracer import TraceEvent
+from repro.perf.profiler import profiled
 
 _JSON_SEPARATORS = (",", ":")
 
@@ -42,6 +43,7 @@ def to_jsonl(events: Iterable[TraceEvent]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+@profiled("obs.export")
 def write_jsonl(path: Union[str, Path], events: Iterable[TraceEvent]) -> int:
     """Write the JSONL log; returns the number of events written."""
     text = to_jsonl(events)
@@ -108,6 +110,7 @@ def to_chrome(events: Sequence[TraceEvent], pid: int = 1) -> Dict[str, Any]:
     return {"traceEvents": rows, "displayTimeUnit": "ms"}
 
 
+@profiled("obs.export")
 def write_chrome(
     path: Union[str, Path], events: Sequence[TraceEvent], pid: int = 1
 ) -> int:

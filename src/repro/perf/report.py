@@ -1,0 +1,119 @@
+"""Hierarchical profile reports and per-layer wall-time attribution.
+
+The profiler records dotted ``layer.phase`` scopes; this module rolls the
+tree up two ways:
+
+* :func:`render_profile` — an indented text tree (total / self / calls /
+  share) mirroring ``repro obs report``'s look for wall time;
+* :func:`layer_shares` — the fraction of recorded wall time attributable
+  to each simulator layer (the first dotted component of every scope
+  name, normalized through :data:`LAYER_ALIASES` so ``sweep.*`` and
+  ``build.*`` both count as ``exp``).
+
+Both consume a finished :class:`~repro.perf.profiler.Profiler`; nothing
+here reads the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.perf.profiler import ProfileNode, Profiler
+
+#: scope-name prefix -> simulator layer for per-layer attribution.
+LAYER_ALIASES: Dict[str, str] = {
+    "sweep": "exp",
+    "build": "exp",
+    "replay": "workloads",
+}
+
+
+def scope_layer(name: str) -> str:
+    """The simulator layer a dotted scope name attributes to."""
+    prefix = name.split(".", 1)[0]
+    return LAYER_ALIASES.get(prefix, prefix)
+
+
+def profile_to_dict(profiler: Profiler) -> Dict[str, Any]:
+    """The whole tree as nested plain-JSON dicts (for bench artifacts)."""
+
+    def node_doc(node: ProfileNode) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "calls": node.calls,
+            "total_s": node.total_s,
+            "self_s": node.self_s,
+        }
+        if node.children:
+            doc["children"] = {
+                name: node_doc(child) for name, child in sorted(node.children.items())
+            }
+        return doc
+
+    return {profiler.root.name: node_doc(profiler.root)}
+
+
+def layer_shares(profiler: Profiler) -> Dict[str, float]:
+    """Fraction of recorded wall time attributed to each layer.
+
+    Every node's *self* time (total minus timed children) is charged to
+    its own layer, so nested scopes never double-count: a ``nand.program``
+    span inside ``ftl.write`` bills nand, and only the FTL's own
+    bookkeeping bills ftl.  Shares sum to 1.0 (within float error) when
+    any time was recorded.
+    """
+    totals: Dict[str, float] = {}
+
+    def walk(node: ProfileNode, is_root: bool) -> None:
+        if not is_root and node.total_s > 0:
+            layer = scope_layer(node.name)
+            totals[layer] = totals.get(layer, 0.0) + node.self_s
+        for child in node.children.values():
+            walk(child, False)
+
+    walk(profiler.root, True)
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {}
+    return {layer: totals[layer] / grand for layer in sorted(totals)}
+
+
+def render_profile(profiler: Profiler, min_share: float = 0.0) -> str:
+    """The indented text tree the CLI prints for ``repro bench --profile``."""
+    lines: List[str] = []
+    grand = profiler.total_s
+
+    header = (
+        f"{'scope':<40s} {'calls':>9s} {'total':>10s} {'self':>10s} {'share':>7s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def walk(node: ProfileNode, depth: int) -> None:
+        share = node.total_s / grand if grand > 0 else 0.0
+        if depth > 0:
+            if share < min_share:
+                return
+            label = ("  " * (depth - 1)) + node.name
+            lines.append(
+                f"{label:<40s} {node.calls:>9,d} "
+                f"{node.total_s:>9.4f}s {node.self_s:>9.4f}s {share:>6.1%}"
+            )
+        for name in sorted(
+            node.children, key=lambda n: -node.children[n].total_s
+        ):
+            walk(node.children[name], depth + 1)
+
+    walk(profiler.root, 0)
+    shares = layer_shares(profiler)
+    if shares:
+        lines.append("")
+        lines.append("per-layer wall-time shares:")
+        for layer in sorted(shares, key=lambda item: -shares[item]):
+            lines.append(f"  {layer:<16s} {shares[layer]:>6.1%}")
+    if grand > 0:
+        lines.append("")
+        lines.append(f"recorded wall time: {grand:.4f}s")
+    else:
+        lines.append("")
+        lines.append("no wall time recorded (was a profiler activated?)")
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""The ``BENCH_*.json`` document schema and its validator.
+
+A bench document is the committed perf contract between PRs, so its shape
+is versioned and validated on every write *and* on every compare — a
+baseline whose ``schema_version`` no longer matches is "stale" and fails
+the CI gate rather than silently comparing incompatible numbers.
+
+Hand-rolled validation (no ``jsonschema`` dependency): the checks are a
+small fixed set and the container must not grow requirements.
+
+Document shape (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "quick" | "full",
+      "repetitions": <int >= 1>,
+      "git_sha": "<short sha or 'nogit'>",
+      "env": {"python": str, "implementation": str, "platform": str,
+              "machine": str, "cpu_count": int, "numpy": str},
+      "metrics": {
+        "<name>": {"value": <finite number>, "unit": str,
+                    "direction": "higher" | "lower" | "band",
+                    "tolerance_pct": <number >= 0>}
+      },
+      "layers": {"<bench>": {"<layer>": <share in [0, 1]>}},
+      "benches": {"<bench>": {...raw per-repetition detail...}}
+    }
+
+``direction`` drives the compare verdict: ``higher`` metrics regress when
+they drop (throughput), ``lower`` when they grow (wall-clock), and
+``band`` metrics (layer shares) regress when they drift outside an
+absolute band of ``tolerance_pct`` percentage points either way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+SCHEMA_VERSION = 1
+
+SUITES = ("quick", "full")
+DIRECTIONS = ("higher", "lower", "band")
+
+_ENV_KEYS = ("python", "implementation", "platform", "machine", "cpu_count", "numpy")
+_METRIC_KEYS = ("value", "unit", "direction", "tolerance_pct")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_bench_doc(doc: Any) -> List[str]:
+    """Schema errors of one bench document (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    if doc.get("suite") not in SUITES:
+        errors.append(f"suite is {doc.get('suite')!r}, expected one of {SUITES}")
+    repetitions = doc.get("repetitions")
+    if not isinstance(repetitions, int) or isinstance(repetitions, bool) or repetitions < 1:
+        errors.append(f"repetitions is {repetitions!r}, expected int >= 1")
+    if not isinstance(doc.get("git_sha"), str) or not doc.get("git_sha"):
+        errors.append("git_sha must be a non-empty string")
+
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        errors.append("env must be an object")
+    else:
+        for key in _ENV_KEYS:
+            if key not in env:
+                errors.append(f"env.{key} missing")
+        if "cpu_count" in env and not _is_number(env["cpu_count"]):
+            errors.append("env.cpu_count must be a number")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        errors.append("metrics must be a non-empty object")
+    else:
+        for name, metric in sorted(metrics.items()):
+            if not isinstance(metric, dict):
+                errors.append(f"metrics.{name} must be an object")
+                continue
+            for key in _METRIC_KEYS:
+                if key not in metric:
+                    errors.append(f"metrics.{name}.{key} missing")
+            value = metric.get("value")
+            if "value" in metric and (
+                not _is_number(value) or not math.isfinite(value)
+            ):
+                errors.append(f"metrics.{name}.value must be a finite number")
+            direction = metric.get("direction")
+            if "direction" in metric and direction not in DIRECTIONS:
+                errors.append(
+                    f"metrics.{name}.direction is {direction!r}, "
+                    f"expected one of {DIRECTIONS}"
+                )
+            tolerance = metric.get("tolerance_pct")
+            if "tolerance_pct" in metric and (
+                not _is_number(tolerance) or tolerance < 0
+            ):
+                errors.append(f"metrics.{name}.tolerance_pct must be a number >= 0")
+
+    layers = doc.get("layers")
+    if not isinstance(layers, dict):
+        errors.append("layers must be an object")
+    else:
+        for bench, shares in sorted(layers.items()):
+            if not isinstance(shares, dict):
+                errors.append(f"layers.{bench} must be an object")
+                continue
+            for layer, share in sorted(shares.items()):
+                if not _is_number(share) or not 0.0 <= float(share) <= 1.0:
+                    errors.append(
+                        f"layers.{bench}.{layer} must be a share in [0, 1]"
+                    )
+
+    if not isinstance(doc.get("benches"), dict):
+        errors.append("benches must be an object")
+    return errors
+
+
+def metric(
+    value: float,
+    unit: str,
+    direction: str,
+    tolerance_pct: float,
+) -> Dict[str, Any]:
+    """One metrics-table entry (validated shape, not validated values)."""
+    if direction not in DIRECTIONS:
+        raise ValueError(f"direction {direction!r} not in {DIRECTIONS}")
+    return {
+        "value": float(value),
+        "unit": unit,
+        "direction": direction,
+        "tolerance_pct": float(tolerance_pct),
+    }

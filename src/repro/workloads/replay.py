@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+from repro.perf.profiler import perf_scope
 from repro.utils.stats import percentile, summarize
 
 if TYPE_CHECKING:  # avoid a runtime cycle: ssd.device uses workloads.model
@@ -60,8 +61,10 @@ class Replayer:
         if self.clamp:
             ordered = clamp_requests(ordered, self.ssd.ftl.logical_pages)
         report = ReplayReport()
-        for request in ordered:
-            report.completed.append(self.ssd.submit(request))
+        with perf_scope("replay.requests"):
+            for request in ordered:
+                report.completed.append(self.ssd.submit(request))
         if drain:
-            self.ssd.ftl.flush()
+            with perf_scope("replay.drain"):
+                self.ssd.ftl.flush()
         return report

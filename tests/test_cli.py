@@ -128,9 +128,11 @@ class TestRunCommand:
             )
             == 0
         )
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
+        out = captured.out
         assert "host_write_p99_us" in out
         assert "extra-latency attribution" in out
+        assert "host perf:" in captured.err
 
         document = json.loads(chrome.read_text())
         rows = document["traceEvents"]
@@ -149,6 +151,9 @@ class TestRunCommand:
         doc = json.loads(summary.read_text())
         assert doc["ftl"]["host_write_p99_us"] > 0
         assert any(key.endswith("_utilization") for key in doc["registry"])
+        # host-side wall-clock telemetry (repro.perf Stopwatch)
+        assert doc["perf"]["wall_s"] >= doc["perf"]["replay_wall_s"] >= 0.0
+        assert doc["perf"]["ops_per_s"] > 0.0
 
     def test_obs_report_reads_back_jsonl(self, capsys, tmp_path):
         jsonl = tmp_path / "run.trace.jsonl"
@@ -327,6 +332,37 @@ class TestSweepCommand:
         ]
         assert main(argv) == 0
         assert "1 cells, 0 cache hits, 1 misses" in capsys.readouterr().out
+
+    def test_progress_mode_replaces_echo(self, capsys, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        argv = [
+            "sweep",
+            *self.SMALL,
+            "--methods", "SEQUENTIAL",
+            "--over", "seed=0,1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(manifest),
+            "--progress",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "progress 2/2 cells" in captured.err
+        assert "sweep wall-clock:" in captured.err
+        assert "cell 1/2" not in captured.err  # per-cell echo suppressed
+
+        # manifest carries the per-cell wall-clock telemetry
+        doc = json.loads(manifest.read_text())
+        assert doc["wall_s"] >= 0.0
+        for cell in doc["cells"]:
+            assert cell["provenance"] == "computed"
+            assert cell["wall_s"] >= 0.0
+            assert cell["attempts"] == 1
+
+        # warm rerun: cells come back as cache hits with lookup timing
+        assert main(argv) == 0
+        capsys.readouterr()
+        doc = json.loads(manifest.read_text())
+        assert all(cell["provenance"] == "cache" for cell in doc["cells"])
 
 
 class TestLintCommand:

@@ -182,4 +182,18 @@ class TestProgressAndManifest:
         assert manifest["cache_misses"] == 4
         assert len(manifest["cells"]) == 4
         cell = manifest["cells"][0]
-        assert set(cell) == {"index", "coords", "config_hash", "key", "cached", "result"}
+        assert set(cell) == {
+            "index",
+            "coords",
+            "config_hash",
+            "key",
+            "cached",
+            "provenance",
+            "wall_s",
+            "attempts",
+            "result",
+        }
+        assert cell["provenance"] == "computed"
+        assert cell["attempts"] == 1
+        assert cell["wall_s"] >= 0.0
+        assert manifest["wall_s"] >= 0.0

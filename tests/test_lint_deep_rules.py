@@ -207,6 +207,30 @@ def test_det010_fires_interprocedurally_into_sim_state() -> None:
     assert "DET010" in codes(findings)
 
 
+def test_det010_sanctions_perf_layer_wall_clock() -> None:
+    # A repro.perf Stopwatch value flowing into harness state is telemetry,
+    # not nondeterminism — the WALLCLOCK taint is dropped at the perf
+    # module boundary.
+    findings = run(
+        {
+            "repro.perf.profiler": """
+            from time import perf_counter
+
+            def elapsed():
+                return perf_counter()
+            """,
+            "repro.fx.harness": """
+            from repro.perf.profiler import elapsed
+
+            class Manifest:
+                def record(self):
+                    self.wall_s = elapsed()
+            """,
+        }
+    )
+    assert "DET010" not in codes(findings)
+
+
 def test_det010_silent_for_local_elapsed_measurement() -> None:
     findings = run(
         {

@@ -155,6 +155,31 @@ def test_det001_scoped_to_repro_package() -> None:
     )
 
 
+def test_det001_perf_carve_out_is_perf_counter_only() -> None:
+    # repro.perf is the sanctioned wall-clock layer: perf_counter[_ns]
+    # only, in both dotted and from-import spellings.
+    assert "DET001" not in codes(
+        run("from time import perf_counter\nt = perf_counter()\n",
+            module="repro.perf.profiler")
+    )
+    assert "DET001" not in codes(
+        run("import time\nt = time.perf_counter_ns()\n",
+            module="repro.perf.bench")
+    )
+    # everything else stays banned even inside repro.perf
+    assert "DET001" in codes(
+        run("import time\nt = time.time()\n", module="repro.perf.profiler")
+    )
+    assert "DET001" in codes(
+        run("from datetime import datetime\nd = datetime.now()\n",
+            module="repro.perf.bench")
+    )
+    # and perf_counter outside repro.perf is still a finding
+    assert "DET001" in codes(
+        run("from time import perf_counter\n", module="repro.ftl.ftl")
+    )
+
+
 # ---------------------------------------------------------------- DET002
 
 
@@ -347,6 +372,31 @@ def test_obs001_scoped_to_obs_package() -> None:
     # Benign imports inside repro.obs stay clean.
     assert "OBS001" not in codes(
         run("import json\nfrom pathlib import Path\n", module="repro.obs.export")
+    )
+
+
+def test_obs001_perf_carve_out() -> None:
+    # repro.perf is in OBS001 scope but may name the two sanctioned
+    # clock entry points — nothing else.
+    assert "OBS001" not in codes(
+        run("from time import perf_counter\n", module="repro.perf.profiler")
+    )
+    assert "OBS001" not in codes(
+        run("from time import perf_counter, perf_counter_ns\n",
+            module="repro.perf.profiler")
+    )
+    # wholesale module import is still a finding even in perf
+    assert "OBS001" in codes(run("import time\n", module="repro.perf.bench"))
+    assert "OBS001" in codes(
+        run("from time import perf_counter, monotonic\n",
+            module="repro.perf.profiler")
+    )
+    assert "OBS001" in codes(
+        run("from datetime import datetime\n", module="repro.perf.bench")
+    )
+    # but obs proper gets no such allowance
+    assert "OBS001" in codes(
+        run("from time import perf_counter\n", module="repro.obs.tracer")
     )
 
 
