@@ -18,11 +18,10 @@ by EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.exp.build import build_stack, derived_ftl_config
+from repro.exp.build import build_stack
 from repro.exp.config import SimConfig
 from repro.faults.plan import FaultPlan
 from repro.ftl.config import REPAIR_POLICIES
@@ -94,12 +93,7 @@ def run_repair_policy(config: SimConfig, policy: str) -> RepairPolicyResult:
     """One full faulted replay under ``policy``; read back the fault metrics."""
     if policy not in REPAIR_POLICIES:
         raise ValueError(f"policy must be one of {REPAIR_POLICIES}")
-    ftl_config = config.ftl
-    if ftl_config is None:
-        ftl_config = derived_ftl_config(config.geometry)
-    stack = build_stack(
-        config.with_(ftl=dataclasses.replace(ftl_config, repair_policy=policy))
-    )
+    stack = build_stack(config.with_path("policies.repair", f"repair.{policy}"))
     requests = stack.requests()
     Replayer(stack.ssd).replay(requests)
     metrics = stack.ftl.metrics

@@ -9,11 +9,17 @@ rely on across refactors:
   :class:`Sweep`, :func:`run_sweep` (also exported as :func:`run`),
   :class:`ResultCache`, the task registry;
 * device construction — geometry/variation model, chips, pools, FTL, SSD;
+* decision policies — the :class:`Policy` protocol, its per-point base
+  classes and contexts, the name registry and :func:`resolve_policies`;
 * method evaluation — assemblers, :func:`evaluate_assembler`,
   :class:`MethodEvaluator`, :class:`MethodRow`;
 * analysis drivers and renderers for every table/figure of the paper;
 * observability — tracer, metrics registry, bench artifact export;
 * small utilities (seed derivation, stats, units) the benches share.
+
+``__all__`` is assembled from one tuple per section below, and
+``tests/test_api_surface.py`` pins the full name list — growing the facade
+is a reviewed, test-visible change; shrinking it is a breaking one.
 
 Names deliberately *not* re-exported (private helpers, layer internals)
 may change without notice.
@@ -171,6 +177,34 @@ from repro.perf import (
     run_suite,
     validate_bench_doc,
 )
+from repro.policy import (
+    DEFAULT_SPECS,
+    POLICY_POINTS,
+    AllocationContext,
+    AllocationDecision,
+    AllocationPolicy,
+    AssemblyContext,
+    AssemblyPolicy,
+    BanditAllocationPolicy,
+    GcCandidate,
+    GcVictimContext,
+    GcVictimPolicy,
+    LatencyPredictorPolicy,
+    Policy,
+    PolicyConfig,
+    PolicySpec,
+    RepairContext,
+    RepairPolicy,
+    ResolvedPolicies,
+    WearCandidate,
+    WearContext,
+    WearPolicy,
+    get_policy,
+    make_policy,
+    policy_names,
+    register_policy,
+    resolve_policies,
+)
 from repro.ssd import Ssd, TimingConfig
 from repro.utils.rng import derive_seed
 from repro.utils.stats import percentile
@@ -189,8 +223,8 @@ from repro.workloads import (
 #: the sweep runner under its short name too, matching ``repro.exp.run``.
 run = run_sweep
 
-__all__ = [
-    # experiment substrate (repro.exp)
+#: experiment substrate (``repro.exp``): configs, stacks, sweeps, caching.
+EXPERIMENT_API = (
     "SimConfig",
     "WorkloadConfig",
     "ALLOCATOR_KINDS",
@@ -213,7 +247,10 @@ __all__ = [
     "evaluate_methods",
     "make_assembler",
     "method_names",
-    # device construction
+)
+
+#: device construction: geometry/variation, chips, characterization, FTL, SSD.
+DEVICE_API = (
     "NandGeometry",
     "PageType",
     "PAPER_GEOMETRY",
@@ -239,14 +276,52 @@ __all__ = [
     "REPAIR_POLICIES",
     "Ssd",
     "TimingConfig",
-    # fault injection
+)
+
+#: decision-policy registry (``repro.policy``): the seedable policy protocol
+#: behind every tuning knob, its per-point contexts, the name registry and
+#: the two learned built-ins.
+POLICY_API = (
+    "Policy",
+    "PolicySpec",
+    "PolicyConfig",
+    "POLICY_POINTS",
+    "DEFAULT_SPECS",
+    "register_policy",
+    "get_policy",
+    "policy_names",
+    "make_policy",
+    "resolve_policies",
+    "ResolvedPolicies",
+    "AssemblyPolicy",
+    "AssemblyContext",
+    "AllocationPolicy",
+    "AllocationContext",
+    "AllocationDecision",
+    "GcVictimPolicy",
+    "GcVictimContext",
+    "GcCandidate",
+    "WearPolicy",
+    "WearContext",
+    "WearCandidate",
+    "RepairPolicy",
+    "RepairContext",
+    "LatencyPredictorPolicy",
+    "BanditAllocationPolicy",
+)
+
+#: deterministic fault injection (``repro.faults``).
+FAULTS_API = (
     "FaultPlan",
     "FaultEvent",
     "FaultInjector",
     "NullInjector",
     "NULL_INJECTOR",
     "make_injector",
-    # assembly / methods
+)
+
+#: superblock assembly methods and the placement core.
+ASSEMBLY_API = (
     "LanePool",
     "Superblock",
     "build_lane_pools",
@@ -272,7 +347,10 @@ __all__ = [
     "str_med_pair_checks",
     "qstr_med_pair_checks",
     "overhead_reduction_pct",
-    # analysis drivers + renderers
+)
+
+#: analysis drivers and renderers for the paper's tables and figures.
+ANALYSIS_API = (
     "TestbedConfig",
     "build_testbed",
     "standard_pools",
@@ -318,14 +396,20 @@ __all__ = [
     "DEFAULT_SEED",
     "DEFAULT_CHIPS",
     "DEFAULT_POOL_BLOCKS",
-    # observability
+)
+
+#: observability: tracer, metrics registry, bench artifact export.
+OBS_API = (
     "Tracer",
     "NULL_TRACER",
     "MetricsRegistry",
     "LatencyHistogram",
     "TraceSummary",
     "export_bench_artifacts",
-    # wall-clock performance (repro.perf)
+)
+
+#: wall-clock performance (``repro.perf``): profiling and the bench gate.
+PERF_API = (
     "Profiler",
     "Stopwatch",
     "perf_scope",
@@ -336,7 +420,10 @@ __all__ = [
     "validate_bench_doc",
     "compare_docs",
     "render_comparison",
-    # workloads
+)
+
+#: host workloads: request model, replay, synthetic and trace loaders.
+WORKLOADS_API = (
     "Request",
     "OpKind",
     "Replayer",
@@ -345,9 +432,28 @@ __all__ = [
     "zipf_writes",
     "load_trace",
     "save_trace",
-    # utilities
+)
+
+#: small shared utilities (seed derivation, stats, units).
+UTILS_API = (
     "derive_seed",
     "percentile",
     "TIB",
     "format_bytes",
-]
+)
+
+#: (section name, names) pairs, in documentation order.
+API_SECTIONS = (
+    ("experiment", EXPERIMENT_API),
+    ("device", DEVICE_API),
+    ("policy", POLICY_API),
+    ("faults", FAULTS_API),
+    ("assembly", ASSEMBLY_API),
+    ("analysis", ANALYSIS_API),
+    ("obs", OBS_API),
+    ("perf", PERF_API),
+    ("workloads", WORKLOADS_API),
+    ("utils", UTILS_API),
+)
+
+__all__ = [name for _, names in API_SECTIONS for name in names]

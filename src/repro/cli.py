@@ -61,6 +61,18 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2024, help="testbed seed")
 
 
+def _add_policy_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy",
+        action="append",
+        default=[],
+        metavar="POINT=NAME[:K=V,...]",
+        help="override one decision policy (repeatable), e.g. "
+        "--policy assembly=assembly.predictor or "
+        "--policy allocation=allocation.bandit:epsilon=0.2",
+    )
+
+
 def _build_pools(
     args: argparse.Namespace,
 ) -> Tuple[List[FlashChip], List[LanePool]]:
@@ -160,7 +172,8 @@ def _apply_fault_args(config: SimConfig, args: argparse.Namespace) -> SimConfig:
 
     Both default to "absent", in which case the config is returned
     untouched — the fault-free path must build the exact historical
-    stack, byte for byte.
+    stack, byte for byte.  ``--repair`` is a deprecated alias for
+    ``--policy repair=repair.<NAME>`` kept so existing invocations work.
     """
     spec = getattr(args, "faults", None)
     if spec:
@@ -173,16 +186,48 @@ def _apply_fault_args(config: SimConfig, args: argparse.Namespace) -> SimConfig:
             raise SystemExit(2) from error
     repair = getattr(args, "repair", None)
     if repair is not None:
-        import dataclasses
-
         from repro.exp.build import derived_ftl_config
 
-        ftl_config = config.ftl
-        if ftl_config is None:
-            ftl_config = derived_ftl_config(config.geometry)
-        config = config.with_(
-            ftl=dataclasses.replace(ftl_config, repair_policy=repair)
+        if config.ftl is None:
+            config = config.with_(ftl=derived_ftl_config(config.geometry))
+        config = config.with_path("ftl.repair_policy", repair)
+        print(
+            f"repro: --repair is deprecated; use --policy repair=repair.{repair}",
+            file=sys.stderr,
         )
+    return _apply_policy_args(config, args)
+
+
+def _apply_policy_args(config: SimConfig, args: argparse.Namespace) -> SimConfig:
+    """Fold repeated ``--policy POINT=NAME[:k=v,...]`` flags into ``config``.
+
+    Validation is eager — an unknown point, an unregistered policy name or
+    a bad parameter exits 2 here, before any stack is built.
+    """
+    for text in getattr(args, "policy", None) or []:
+        point, sep, value = text.partition("=")
+        if not sep or not point or not value:
+            print(
+                f"repro: bad --policy {text!r} (want POINT=NAME[:k=v,...])",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        from repro.policy import POLICY_POINTS, PolicySpec, get_policy
+
+        if point not in POLICY_POINTS:
+            print(
+                f"repro: unknown policy point {point!r}; pick from "
+                f"{', '.join(POLICY_POINTS)}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        try:
+            spec = PolicySpec.from_text(value)
+            get_policy(spec.name)  # unknown names fail here, not mid-run
+            config = config.with_path(f"policies.{point}", spec)
+        except (TypeError, ValueError) as error:
+            print(f"repro: bad --policy {text!r}: {error}", file=sys.stderr)
+            raise SystemExit(2) from error
     return config
 
 
@@ -711,6 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--blocks", type=int, default=48)
     replay.add_argument("--chips", type=int, default=4)
     replay.add_argument("--seed", type=int, default=2024)
+    _add_policy_arg(replay)
     replay.set_defaults(func=cmd_replay)
 
     run = sub.add_parser(
@@ -740,8 +786,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair",
         choices=["qstr", "random"],
         default=None,
-        help="superblock repair policy after a retired member (default qstr)",
+        help="deprecated alias for --policy repair=repair.NAME",
     )
+    _add_policy_arg(run)
     run.set_defaults(func=cmd_run)
 
     obs = sub.add_parser("obs", help="observability utilities")
@@ -797,8 +844,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair",
         choices=["qstr", "random"],
         default=None,
-        help="base-config superblock repair policy",
+        help="deprecated alias for --policy repair=repair.NAME",
     )
+    _add_policy_arg(sweep)
     sweep.add_argument(
         "--cell-timeout",
         type=float,

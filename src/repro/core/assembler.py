@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.catalog import BlockCatalog
 from repro.core.records import BlockRecord
@@ -27,6 +27,24 @@ class SpeedClass(Enum):
 
 class AssemblyError(Exception):
     """Not enough free blocks to assemble a superblock."""
+
+
+class MemberChooser(Protocol):
+    """Structural hook for pluggable member choice (see ``repro.policy``).
+
+    Core stays below the policy layer, so the assembler only knows this
+    positional shape; :class:`repro.policy.base.AssemblyPolicy` provides
+    the matching ``choose_member`` adapter.
+    """
+
+    def choose_member(
+        self,
+        speed_class: SpeedClass,
+        reference: BlockRecord,
+        candidates: Tuple[BlockRecord, ...],
+    ) -> BlockRecord:
+        """Pick one of ``candidates`` to pair with ``reference``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -52,7 +70,12 @@ class SuperblockChoice:
 class OnDemandAssembler:
     """Reference-anchored similarity assembly over per-lane catalogs."""
 
-    def __init__(self, catalogs: Sequence[BlockCatalog], candidate_depth: int = 4) -> None:
+    def __init__(
+        self,
+        catalogs: Sequence[BlockCatalog],
+        candidate_depth: int = 4,
+        chooser: Optional[MemberChooser] = None,
+    ) -> None:
         if len(catalogs) < 2:
             raise ValueError("need at least two lanes")
         lanes = [catalog.lane for catalog in catalogs]
@@ -62,6 +85,8 @@ class OnDemandAssembler:
             raise ValueError("candidate_depth must be >= 1")
         self._catalogs: Dict[int, BlockCatalog] = {c.lane: c for c in catalogs}
         self.candidate_depth = candidate_depth
+        #: pluggable member choice; None keeps the inline eigen pair check
+        self.chooser = chooser
         #: cumulative eigen pair checks (the scheme's computing-overhead metric)
         self.total_pair_checks = 0
         #: superblocks assembled so far
@@ -111,14 +136,20 @@ class OnDemandAssembler:
                 candidates = catalog.head_candidates(self.candidate_depth)
             else:
                 candidates = catalog.tail_candidates(self.candidate_depth)
-            best_record = None
-            best_distance = None
-            for candidate in candidates:
-                distance = reference.distance_to(candidate)
-                pair_checks += 1
-                if best_distance is None or distance < best_distance:
-                    best_distance = distance
-                    best_record = candidate
+            if self.chooser is not None:
+                best_record = self.chooser.choose_member(
+                    speed_class, reference, tuple(candidates)
+                )
+                pair_checks += len(candidates)
+            else:
+                best_record = None
+                best_distance = None
+                for candidate in candidates:
+                    distance = reference.distance_to(candidate)
+                    pair_checks += 1
+                    if best_distance is None or distance < best_distance:
+                        best_distance = distance
+                        best_record = candidate
             assert best_record is not None
             members.append(best_record)
         for record in members:

@@ -20,7 +20,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.assembly.base import Assembler, LanePool, Superblock, check_pools
 from repro.characterization.datasets import BlockMeasurement
-from repro.core.assembler import OnDemandAssembler, SpeedClass, SuperblockChoice
+from repro.core.assembler import (
+    MemberChooser,
+    OnDemandAssembler,
+    SpeedClass,
+    SuperblockChoice,
+)
 from repro.core.catalog import BlockCatalog
 from repro.core.gathering import GatheringUnit
 from repro.core.placement import DEFAULT_POLICY, PlacementPolicy, WriteIntent
@@ -39,6 +44,7 @@ class QstrMedScheme:
         candidate_depth: int = 4,
         placement: PlacementPolicy = DEFAULT_POLICY,
         registry: Optional[MetricsRegistry] = None,
+        chooser: Optional[MemberChooser] = None,
     ) -> None:
         if len(set(lanes)) != len(lanes):
             raise ValueError(f"duplicate lanes: {lanes}")
@@ -57,7 +63,7 @@ class QstrMedScheme:
         }
         self.candidate_depth = candidate_depth
         self._assembler = OnDemandAssembler(
-            list(self._catalogs.values()), candidate_depth
+            list(self._catalogs.values()), candidate_depth, chooser=chooser
         )
         self._gathering = GatheringUnit(geometry, self._on_block_gathered)
         # records gathered for in-use blocks, waiting for the block to free up

@@ -31,6 +31,7 @@ from repro.nand.variation import VariationModel
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.perf.profiler import profiled
+from repro.policy.resolve import resolve_policies
 from repro.ssd.device import Ssd
 from repro.workloads.model import Request
 
@@ -106,13 +107,24 @@ class Stack:
             # is only passed when fault injection is active: the historical
             # fault-free stack always used the default, and changing that
             # would perturb byte-identical replay outputs.
+            ftl_seed = config.seed if config.faults is not None else 0
+            # Learned policies draw from "policy"-labeled streams keyed on
+            # the config seed; the static defaults draw nothing, so the
+            # historical ftl_seed quirk above cannot leak through them.
+            policy_seed = ftl_seed if config.policies.is_default else config.seed
+            policies = resolve_policies(
+                config.policies,
+                seed=policy_seed,
+                legacy_repair=ftl_config.repair_policy,
+            )
             ftl = Ftl(
                 self.chips,
                 ftl_config,
                 allocator_kind=config.allocator,
-                seed=config.seed if config.faults is not None else 0,
+                seed=ftl_seed,
                 tracer=self.tracer,
                 registry=self.registry,
+                policies=policies,
             )
             ftl.format()
             self._ssd = Ssd(ftl, config.timing)

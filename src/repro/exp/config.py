@@ -30,6 +30,7 @@ from repro.faults.plan import FaultPlan
 from repro.ftl.config import FtlConfig
 from repro.nand.geometry import PAPER_GEOMETRY, NandGeometry
 from repro.nand.variation import VariationParams
+from repro.policy.spec import PolicyConfig
 from repro.ssd.timing import TimingConfig
 
 T = TypeVar("T")
@@ -95,6 +96,9 @@ class SimConfig:
     #: fault-injection schedule; ``None`` (and the null plan, which is
     #: normalized to ``None``) means the fault-free fast path.
     faults: Optional[FaultPlan] = None
+    #: pluggable decision policies; the all-unset default replicates the
+    #: historical hard-coded behavior (see :mod:`repro.policy`).
+    policies: PolicyConfig = field(default_factory=PolicyConfig)
 
     def __post_init__(self) -> None:
         if self.chips < 2:
@@ -109,6 +113,11 @@ class SimConfig:
             # Normalize so config equality, serialization and content
             # hashes cannot distinguish "no plan" from "an empty plan".
             object.__setattr__(self, "faults", None)
+        if not isinstance(self.policies, PolicyConfig):
+            # accept plain mappings (e.g. from with_(policies={...}))
+            object.__setattr__(
+                self, "policies", PolicyConfig.from_dict(self.policies)
+            )
 
     # -- presets -----------------------------------------------------------
 
@@ -196,13 +205,18 @@ class SimConfig:
     def to_dict(self) -> Dict[str, Any]:
         """A plain JSON-serializable dict (nested dataclasses become dicts).
 
-        The ``faults`` key is omitted entirely when no plan is set, so
-        fault-free configs serialize — and content-hash — exactly as they
-        did before fault injection existed.
+        The ``faults`` key is omitted entirely when no plan is set, and the
+        ``policies`` key when every policy slot is unset, so pre-existing
+        configs serialize — and content-hash — exactly as they did before
+        fault injection / the policy layer existed.
         """
         data = dataclasses.asdict(self)
         if data.get("faults") is None:
             data.pop("faults", None)
+        if self.policies.is_default:
+            data.pop("policies", None)
+        else:
+            data["policies"] = self.policies.to_dict()
         return data
 
     @classmethod

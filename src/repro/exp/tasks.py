@@ -88,6 +88,7 @@ DEFAULT_METHODS: Tuple[str, ...] = (
         "repro.characterization",
         "repro.assembly",
         "repro.core",
+        "repro.policy",
         "repro.exp",
     ),
     description="evaluate assembly methods over probed pools vs the random baseline",
@@ -124,6 +125,7 @@ def methods_task(config: SimConfig, params: Dict[str, Any]) -> Dict[str, Any]:
         "repro.characterization",
         "repro.assembly",
         "repro.core",
+        "repro.policy",
         "repro.ftl",
         "repro.ssd",
         "repro.workloads",

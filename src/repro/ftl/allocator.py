@@ -11,7 +11,7 @@ same bookkeeping so end-to-end comparisons are apples to apples.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -22,7 +22,42 @@ from repro.core.scheme import QstrMedScheme
 from repro.ftl.repair import DEFAULT_REPAIR_DEPTH, choose_similar, speed_candidates
 from repro.nand.geometry import NandGeometry
 from repro.obs.registry import MetricsRegistry
+from repro.policy.base import AssemblyPolicy, RepairContext, RepairPolicy
 from repro.utils.rng import derive_seed
+
+#: ``draft_spare`` accepts either a resolved policy or (deprecated) the
+#: legacy ``"qstr"``/``"random"`` string form of ``FtlConfig.repair_policy``.
+RepairChoice = Union[str, RepairPolicy]
+
+
+def _draft_record(
+    policy: RepairChoice,
+    lane: int,
+    speed_class: SpeedClass,
+    survivors: Sequence[BlockRecord],
+    pool: Sequence[BlockRecord],
+    candidates: Sequence[BlockRecord],
+    rng: "np.random.Generator",
+) -> BlockRecord:
+    """Shared spare choice over a precomputed pool + candidate slice.
+
+    The legacy string forms replicate the pre-policy inline logic exactly;
+    policy objects get the full :class:`RepairContext`.
+    """
+    if isinstance(policy, str):
+        if policy == "random":
+            return pool[int(rng.integers(len(pool)))]
+        return choose_similar(candidates, survivors)
+    return policy.draft(
+        RepairContext(
+            lane=lane,
+            speed_class=speed_class,
+            survivors=tuple(survivors),
+            pool=tuple(pool),
+            candidates=tuple(candidates),
+            rng=rng,
+        )
+    )
 
 
 class AllocationError(Exception):
@@ -63,13 +98,13 @@ class BlockAllocator(ABC):
         lane: int,
         speed_class: SpeedClass,
         survivors: Sequence[BlockRecord],
-        policy: str,
+        policy: RepairChoice,
         rng: "np.random.Generator",
     ) -> BlockRecord:
         """Take one free block from ``lane`` to repair a damaged superblock.
 
-        ``policy`` is ``random`` (any free block) or ``qstr`` (speed-class
-        + eigen-similarity matched against the surviving members).
+        ``policy`` is a resolved :class:`~repro.policy.base.RepairPolicy`
+        (or, deprecated, the legacy ``"random"``/``"qstr"`` string).
         """
 
     @abstractmethod
@@ -109,10 +144,17 @@ class QstrAllocator(BlockAllocator):
         candidate_depth: int = 4,
         placement: PlacementPolicy = DEFAULT_POLICY,
         registry: Optional[MetricsRegistry] = None,
+        assembly_policy: Optional[AssemblyPolicy] = None,
     ) -> None:
         super().__init__(lanes)
+        self._assembly_policy = assembly_policy
         self.scheme = QstrMedScheme(
-            geometry, lanes, candidate_depth, placement, registry=registry
+            geometry,
+            lanes,
+            candidate_depth,
+            placement,
+            registry=registry,
+            chooser=assembly_policy,
         )
 
     def register_free(self, record: BlockRecord) -> None:
@@ -133,6 +175,10 @@ class QstrAllocator(BlockAllocator):
         self, lane: int, plane: int, block: int, lwl: int, latency_us: float
     ) -> None:
         self.scheme.note_wordline_programmed(lane, plane, block, lwl, latency_us)
+        if self._assembly_policy is not None:
+            # learned assembly policies refine their per-block estimates
+            # from the same measured latencies the catalogs gather
+            self._assembly_policy.observe_program(lane, plane, block, lwl, latency_us)
 
     def on_block_freed(self, lane: int, plane: int, block: int) -> None:
         self.scheme.note_block_freed(lane, plane, block)
@@ -145,23 +191,22 @@ class QstrAllocator(BlockAllocator):
         lane: int,
         speed_class: SpeedClass,
         survivors: Sequence[BlockRecord],
-        policy: str,
+        policy: RepairChoice,
         rng: "np.random.Generator",
     ) -> BlockRecord:
         catalog = self.scheme.catalog(lane)
         pool = list(catalog)
         if not pool:
             raise AllocationError(f"lane {lane} has no free blocks for repair")
-        if policy == "random":
-            record = pool[int(rng.integers(len(pool)))]
-        else:
-            depth = min(self.scheme.candidate_depth, len(pool))
-            candidates = (
-                catalog.head_candidates(depth)
-                if speed_class is SpeedClass.FAST
-                else catalog.tail_candidates(depth)
-            )
-            record = choose_similar(candidates, survivors)
+        depth = min(self.scheme.candidate_depth, len(pool))
+        candidates = (
+            catalog.head_candidates(depth)
+            if speed_class is SpeedClass.FAST
+            else catalog.tail_candidates(depth)
+        )
+        record = _draft_record(
+            policy, lane, speed_class, survivors, pool, candidates, rng
+        )
         self.scheme.take_free_block(record)
         return record
 
@@ -236,19 +281,17 @@ class SimpleAllocator(BlockAllocator):
         lane: int,
         speed_class: SpeedClass,
         survivors: Sequence[BlockRecord],
-        policy: str,
+        policy: RepairChoice,
         rng: "np.random.Generator",
     ) -> BlockRecord:
         pool = self._free[lane]
         if not pool:
             raise AllocationError(f"lane {lane} has no free blocks for repair")
-        if policy == "random":
-            record = pool[int(rng.integers(len(pool)))]
-        else:
-            depth = min(DEFAULT_REPAIR_DEPTH, len(pool))
-            record = choose_similar(
-                speed_candidates(pool, speed_class, depth), survivors
-            )
+        depth = min(DEFAULT_REPAIR_DEPTH, len(pool))
+        candidates = speed_candidates(pool, speed_class, depth)
+        record = _draft_record(
+            policy, lane, speed_class, survivors, pool, candidates, rng
+        )
         pool.remove(record)
         self._in_use[record.key()] = record
         return record
@@ -270,14 +313,24 @@ def make_allocator(
     placement: PlacementPolicy = DEFAULT_POLICY,
     seed: int = 0,
     registry: Optional[MetricsRegistry] = None,
+    assembly_policy: Optional[AssemblyPolicy] = None,
 ) -> BlockAllocator:
     """Factory: ``qstr`` | ``random`` | ``sequential`` | ``pgm_sorted``.
 
     ``registry`` (optional) receives the QSTR-MED gather/assemble/allocate
     phase counters; the baselines have no phases to count.
+    ``assembly_policy`` plugs the member choice of the runtime QSTR-MED
+    scheme; the baselines ignore it (they do no similarity assembly).
     """
     if kind == "qstr":
-        return QstrAllocator(geometry, lanes, candidate_depth, placement, registry)
+        return QstrAllocator(
+            geometry,
+            lanes,
+            candidate_depth,
+            placement,
+            registry,
+            assembly_policy=assembly_policy,
+        )
     if kind in SimpleAllocator.STRATEGIES:
         return SimpleAllocator(lanes, kind, seed)
     raise ValueError(f"unknown allocator kind {kind!r}")

@@ -35,6 +35,8 @@ from repro.nand.geometry import PageType
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.perf.profiler import profiled
+from repro.policy.base import AllocationContext, GcCandidate, GcVictimContext
+from repro.policy.resolve import ResolvedPolicies, resolve_policies
 from repro.utils.rng import derive_seed
 
 
@@ -106,6 +108,7 @@ class Ftl:
         seed: int = 0,
         tracer: NullTracer = NULL_TRACER,
         registry: Optional[MetricsRegistry] = None,
+        policies: Optional[ResolvedPolicies] = None,
     ) -> None:
         if len(chips) < 2:
             raise ValueError("need at least two chips (lanes)")
@@ -124,6 +127,15 @@ class Ftl:
         self.registry = registry
         self.chips: Dict[int, FlashChip] = {lane: chip for lane, chip in enumerate(chips)}
         self.lanes = list(self.chips)
+        # Every tuning decision (assembly, stream routing, GC victim, wear
+        # victim, repair drafting) routes through one resolved policy set;
+        # None resolves the static defaults, which replicate the historical
+        # hard-coded behavior bit for bit.
+        self.policies: ResolvedPolicies = (
+            policies
+            if policies is not None
+            else resolve_policies(seed=seed, legacy_repair=config.repair_policy)
+        )
         self.allocator: BlockAllocator = make_allocator(
             allocator_kind,
             self.geometry,
@@ -132,6 +144,7 @@ class Ftl:
             placement=placement,
             seed=seed,
             registry=registry,
+            assembly_policy=self.policies.assembly,
         )
         self.allocator_kind = allocator_kind
 
@@ -231,19 +244,21 @@ class Ftl:
     # -- write path -------------------------------------------------------------------
 
     def _stream_for(self, intent: WriteIntent) -> WriteStream:
-        speed_class = self.placement.classify(intent)
-        if speed_class is SpeedClass.SLOW:
+        decision = self.policies.allocation.place(
+            AllocationContext(
+                intent=intent,
+                base_class=self.placement.classify(intent),
+                prefers_fast=self.placement.prefers_fast_superpage(intent),
+                steering_enabled=self.config.superpage_steering,
+                predictor_ready=self.predictor is not None
+                and self.predictor.ready(),
+            )
+        )
+        if decision.speed_class is SpeedClass.SLOW:
             return WriteStream.SLOW
-        if (
-            self.config.superpage_steering
-            and intent.source is WriteSource.HOST
-            and self.predictor is not None
-            and self.predictor.ready()
-        ):
-            if self.placement.prefers_fast_superpage(intent):
-                return WriteStream.FAST_EXPRESS
-            return WriteStream.FAST_BULK
-        return WriteStream.FAST
+        if decision.express is None:
+            return WriteStream.FAST
+        return WriteStream.FAST_EXPRESS if decision.express else WriteStream.FAST_BULK
 
     @profiled("ftl.write")
     def write(
@@ -438,6 +453,9 @@ class Ftl:
             self.metrics.gc_write_us.add(completion)
         self.metrics.extra_program_us.add(extra)
         self.metrics.record_stream_write(stream.value, completion)
+        # learned allocation policies score their routing on the measured
+        # completion; the static policy's hook is a no-op
+        self.policies.allocation.observe_flush(stream.value, completion, host_pages)
 
         if self.tracer.enabled:
             self._trace_flush(sb, stream, lwl, batch, latencies, completion, extra)
@@ -562,7 +580,7 @@ class Ftl:
         """Swap a failed member for a drafted spare; returns the µs charged.
 
         The failed block is retired (grown bad), a spare is drafted from
-        the same lane under ``config.repair_policy``, the already-programmed
+        the same lane under the resolved repair policy, the already-programmed
         word-lines ``0..upto_lwl-1`` are copied onto it (the failed block
         stays readable, with parity as the fallback), and the superblock's
         member table is patched in place so slot geometry never changes.
@@ -582,7 +600,7 @@ class Ftl:
                     failed.lane,
                     sb.speed_class,
                     survivors,
-                    self.config.repair_policy,
+                    self.policies.repair,
                     self._repair_rng,
                 )
             except AllocationError as error:
@@ -615,7 +633,7 @@ class Ftl:
                     track="ftl",
                     superblock=sb.sb_id,
                     lane_index=lane_index,
-                    policy=self.config.repair_policy,
+                    policy=self.policies.repair.short_name,
                     failed={
                         "chip": failed.lane,
                         "plane": failed.plane,
@@ -861,16 +879,19 @@ class Ftl:
     def _pick_victim(self) -> Optional[ManagedSuperblock]:
         # A fully-valid victim reclaims nothing: relocating it consumes as
         # many pages as the erase frees, so GC would thrash forever.
-        candidates = [
-            sb
+        candidates = tuple(
+            GcCandidate(
+                sb_id=sb.sb_id,
+                valid_pages=self.mapper.valid_count(sb.sb_id),
+                capacity_pages=sb.capacity_pages,
+            )
             for sb in self.table.sealed()
             if self.mapper.valid_count(sb.sb_id) < sb.capacity_pages
-        ]
-        if not candidates:
-            return None
-        return min(
-            candidates, key=lambda sb: (self.mapper.valid_count(sb.sb_id), sb.sb_id)
         )
+        victim_id = self.policies.gc_victim.pick(GcVictimContext(candidates))
+        if victim_id is None:
+            return None
+        return self.table.get(victim_id)
 
     @profiled("ftl.gc")
     def _collect_once(self) -> bool:
@@ -1012,7 +1033,7 @@ class Ftl:
             )
             for sb in self.table.sealed()
         )
-        victim_id = leveler.coldest_superblock(candidates)
+        victim_id = leveler.nominate(candidates, self.policies.wear)
         if victim_id is None:
             return
         # The rotation needs at least one free block per lane to relocate into.

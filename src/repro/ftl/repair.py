@@ -12,46 +12,30 @@ super word-line.  Two policies are provided:
   FAST, tail for SLOW), then pick the one most eigen-similar to the
   surviving members — the same similarity criterion
   :class:`repro.core.assembler.OnDemandAssembler` uses at assembly time.
+
+The policies themselves now live in ``repro.policy`` (registered as
+``repair.qstr`` / ``repair.random``); ``REPAIR_POLICIES`` and the
+similarity helpers are kept here for backward compatibility — the string
+form of ``FtlConfig.repair_policy`` is deprecated in favor of
+``SimConfig.policies.repair``.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Tuple
 
-from repro.core.assembler import SpeedClass
-from repro.core.records import BlockRecord
+from repro.policy.static import choose_similar, speed_candidates
 
+#: Legacy string names accepted by ``FtlConfig.repair_policy`` (deprecated;
+#: they map onto the ``repair.<name>`` registered policies).
 REPAIR_POLICIES: Tuple[str, ...] = ("qstr", "random")
 
 #: Candidate depth used when the allocator has no configured depth of its own.
 DEFAULT_REPAIR_DEPTH = 4
 
-
-def speed_candidates(
-    records: Sequence[BlockRecord], speed_class: SpeedClass, depth: int
-) -> Sequence[BlockRecord]:
-    """The ``depth`` records whose total program latency matches the class."""
-    if depth < 1:
-        raise ValueError("depth must be >= 1")
-    ordered = sorted(records, key=lambda r: (r.pgm_total_us, r.key()))
-    if speed_class is SpeedClass.FAST:
-        return ordered[:depth]
-    return ordered[-depth:]
-
-
-def choose_similar(
-    candidates: Sequence[BlockRecord], survivors: Sequence[BlockRecord]
-) -> BlockRecord:
-    """The candidate with the lowest total eigen distance to the survivors.
-
-    Ties break on total program latency then physical address, so the
-    choice is deterministic regardless of candidate ordering.
-    """
-    if not candidates:
-        raise ValueError("no candidates to choose from")
-
-    def score(record: BlockRecord) -> Tuple[int, float, Tuple[int, int, int]]:
-        distance = sum(record.distance_to(peer) for peer in survivors)
-        return (distance, record.pgm_total_us, record.key())
-
-    return min(candidates, key=score)
+__all__ = [
+    "REPAIR_POLICIES",
+    "DEFAULT_REPAIR_DEPTH",
+    "speed_candidates",
+    "choose_similar",
+]

@@ -20,6 +20,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.nand.chip import FlashChip
+from repro.policy.base import WearCandidate, WearContext, WearPolicy
+from repro.policy.registry import make_policy
+from repro.policy.spec import DEFAULT_SPECS
 
 
 @dataclass(frozen=True)
@@ -99,30 +102,49 @@ class WearLeveler:
 
     # -- victim nomination ---------------------------------------------------------
 
-    def coldest_superblock(
-        self, candidates: Iterable[Tuple[int, Sequence[Tuple[int, int, int]]]]
+    def nominate(
+        self,
+        candidates: Iterable[Tuple[int, Sequence[Tuple[int, int, int]]]],
+        policy: Optional[WearPolicy] = None,
     ) -> Optional[int]:
-        """Among sealed superblocks, the one with the lowest mean member P/E.
+        """Ask ``policy`` which sealed superblock to rotate, if any.
 
         ``candidates`` yields ``(superblock_id, [(lane, plane, block), ...])``;
-        returns the chosen superblock id or None.
+        the leveler scores each by mean member P/E and hands the scored set
+        (plus the overall mean) to the policy.  Returns the chosen
+        superblock id or None; a nomination counts toward
+        ``rotations_triggered``.
         """
-        best_id: Optional[int] = None
-        best_mean: Optional[float] = None
+        scored = []
         for sb_id, members in candidates:
             members = list(members)
             if not members:
                 continue
             mean_pe = sum(self.pe_of(*member) for member in members) / len(members)
-            if best_mean is None or mean_pe < best_mean:
-                best_mean = mean_pe
-                best_id = sb_id
-        if best_id is None:
+            scored.append(WearCandidate(sb_id=sb_id, mean_pe=mean_pe))
+        if not scored:
             return None
-        # Only worth rotating if the coldest candidate is actually cold.
-        overall = self.report()
-        assert best_mean is not None
-        if best_mean > overall.mean_pe:
+        if policy is None:
+            policy = _default_wear_policy()
+        victim = policy.pick(
+            WearContext(
+                candidates=tuple(scored), overall_mean_pe=self.report().mean_pe
+            )
+        )
+        if victim is None:
             return None
         self.rotations_triggered += 1
-        return best_id
+        return victim
+
+    def coldest_superblock(
+        self, candidates: Iterable[Tuple[int, Sequence[Tuple[int, int, int]]]]
+    ) -> Optional[int]:
+        """Backward-compatible form of :meth:`nominate` (default policy)."""
+        return self.nominate(candidates)
+
+
+def _default_wear_policy() -> WearPolicy:
+    """A fresh static ``wear.coldest`` instance (stateless, draws nothing)."""
+    policy = make_policy(DEFAULT_SPECS["wear"], 0)
+    assert isinstance(policy, WearPolicy)
+    return policy

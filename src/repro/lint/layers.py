@@ -2,7 +2,7 @@
 
 The simulator is layered as a DAG::
 
-    utils → faults → nand → characterization → assembly → core → ftl → ssd
+    utils → faults → nand → characterization → assembly → core → policy → ftl → ssd
         ↘ obs ————— (importable by core / ftl / ssd / …) ———————→ workloads
         ↘ perf ——— (importable by every simulation layer) ——————→ exp
                                                                → analysis
@@ -18,7 +18,10 @@ from ``core`` up can emit into it without inverting the DAG.  ``perf``
 (wall-clock profiling — the only package allowed to read the host clock)
 likewise sits directly above ``utils``: every layer calls its no-op-when-
 inactive ``perf_scope`` hooks, so the fence must live below them all.
-``faults``
+``policy`` (the pluggable decision-policy protocol and its built-in
+instances) sits between ``core`` and ``ftl``: policies consume core types
+(block records, speed classes) and are *consumed by* the FTL, which resolves
+``SimConfig.policies`` specs into instances at construction time.  ``faults``
 (deterministic fault plans and injectors) also sits directly above ``utils``:
 chips consult an injector on every operation, so the package must live
 *below* ``nand``, and the layers that schedule faults (``exp`` configs,
@@ -51,11 +54,24 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
     "core": frozenset(
         {"obs", "perf", "faults", "assembly", "characterization", "nand", "utils"}
     ),
+    "policy": frozenset(
+        {
+            "obs",
+            "perf",
+            "faults",
+            "core",
+            "assembly",
+            "characterization",
+            "nand",
+            "utils",
+        }
+    ),
     "ftl": frozenset(
         {
             "obs",
             "perf",
             "faults",
+            "policy",
             "core",
             "assembly",
             "characterization",
@@ -69,6 +85,7 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
             "perf",
             "faults",
             "ftl",
+            "policy",
             "core",
             "assembly",
             "characterization",
@@ -83,6 +100,7 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
             "faults",
             "ssd",
             "ftl",
+            "policy",
             "core",
             "assembly",
             "characterization",
@@ -98,6 +116,7 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
             "workloads",
             "ssd",
             "ftl",
+            "policy",
             "core",
             "assembly",
             "characterization",
@@ -114,6 +133,7 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
             "workloads",
             "ssd",
             "ftl",
+            "policy",
             "core",
             "assembly",
             "characterization",

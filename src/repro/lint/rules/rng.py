@@ -150,15 +150,48 @@ class UnlabeledFaultStream(Rule):
 
     @staticmethod
     def _has_faults_label(node: ast.Call) -> bool:
-        if len(node.args) != 1 or node.keywords:
-            return False
-        seed = node.args[0]
-        if not isinstance(seed, ast.Call):
-            return False
-        callee = Rule.dotted_name(seed.func)
-        if callee is None or callee.split(".")[-1] != "derive_seed":
-            return False
-        return any(
-            isinstance(arg, ast.Constant) and arg.value == "faults"
-            for arg in seed.args
-        )
+        return _has_stream_label(node, "faults")
+
+
+@register_rule
+class UnlabeledPolicyStream(Rule):
+    code = "RNG005"
+    name = "unlabeled-policy-stream"
+    description = (
+        "policy generators must draw from a derive_seed stream carrying the "
+        "literal 'policy' label, so a learned policy's exploration draws can "
+        "never collide with (or silently perturb) a simulation RNG stream"
+    )
+    scope_prefixes = ("repro.policy",)
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self.dotted_name(node.func)
+            if dotted is None or dotted.split(".")[-1] != "default_rng":
+                continue
+            if _has_stream_label(node, "policy"):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                "default_rng(...) in a policy module without a 'policy' "
+                "derive_seed label — " + self.description,
+            )
+
+
+def _has_stream_label(node: ast.Call, label: str) -> bool:
+    """``default_rng(derive_seed(..., <label literal>, ...))``?"""
+    if len(node.args) != 1 or node.keywords:
+        return False
+    seed = node.args[0]
+    if not isinstance(seed, ast.Call):
+        return False
+    callee = Rule.dotted_name(seed.func)
+    if callee is None or callee.split(".")[-1] != "derive_seed":
+        return False
+    return any(
+        isinstance(arg, ast.Constant) and arg.value == label
+        for arg in seed.args
+    )

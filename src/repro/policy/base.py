@@ -1,0 +1,263 @@
+"""The policy protocol: decision contexts and per-point base classes.
+
+Every tuning knob the FTL used to hard-code is now a call into one of five
+policy objects, each receiving a frozen *decision context* carrying exactly
+the facts the legacy code consulted:
+
+* :class:`AssemblyPolicy` — which candidate joins a superblock under
+  assembly (the reference-anchored member choice of QSTR-MED);
+* :class:`AllocationPolicy` — which write stream a host/GC write takes
+  (fast vs slow, and express vs bulk under superpage steering);
+* :class:`GcVictimPolicy` — which sealed superblock GC reclaims;
+* :class:`WearPolicy` — which sealed superblock a wear check rotates;
+* :class:`RepairPolicy` — which spare block repairs a failed member.
+
+Determinism contract: a policy that draws randomness must do so from its
+own ``"policy"``-labeled stream (:meth:`Policy.policy_rng`, enforced by
+lint rule RNG005), never from shared state — so two runs of the same config
+and seed make identical decisions in any process.  Policies are constructed
+inside each sweep worker from their picklable :class:`~repro.policy.spec.
+PolicySpec`; instances themselves must also pickle (they may be embedded in
+diagnostics), which every attribute used here satisfies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Tuple
+
+import numpy as np
+
+from repro.core.assembler import SpeedClass
+from repro.core.placement import WriteIntent
+from repro.core.records import BlockRecord
+from repro.policy.spec import PolicySpec
+from repro.utils.rng import derive_seed
+
+
+# ---------------------------------------------------------------------------
+# decision contexts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AssemblyContext:
+    """One lane's member choice during reference-anchored assembly.
+
+    ``candidates`` is the lane's ``candidate_depth`` head (FAST) or tail
+    (SLOW) slice of its latency-sorted catalog, in catalog order.
+    """
+
+    speed_class: SpeedClass
+    reference: BlockRecord
+    candidates: Tuple[BlockRecord, ...]
+    lane: int
+
+
+@dataclass(frozen=True)
+class AllocationContext:
+    """One write's routing decision.
+
+    ``base_class``/``prefers_fast`` are the placement policy's verdicts for
+    this intent, precomputed by the FTL so policies need not re-derive them.
+    """
+
+    intent: WriteIntent
+    base_class: SpeedClass
+    prefers_fast: bool
+    steering_enabled: bool
+    predictor_ready: bool
+
+
+@dataclass(frozen=True)
+class AllocationDecision:
+    """Where an allocation policy routes a write.
+
+    ``express`` only matters for FAST decisions under superpage steering:
+    True -> the express substream, False -> bulk, None -> the plain
+    unsteered fast stream.
+    """
+
+    speed_class: SpeedClass
+    express: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class GcCandidate:
+    """One sealed superblock eligible for garbage collection."""
+
+    sb_id: int
+    valid_pages: int
+    capacity_pages: int
+
+
+@dataclass(frozen=True)
+class GcVictimContext:
+    """All reclaimable sealed superblocks, in table order."""
+
+    candidates: Tuple[GcCandidate, ...]
+
+
+@dataclass(frozen=True)
+class WearCandidate:
+    """One sealed superblock with its members' mean P/E count."""
+
+    sb_id: int
+    mean_pe: float
+
+
+@dataclass(frozen=True)
+class WearContext:
+    """Sealed superblocks a due wear check may rotate."""
+
+    candidates: Tuple[WearCandidate, ...]
+    overall_mean_pe: float
+
+
+@dataclass(frozen=True)
+class RepairContext:
+    """Spare drafting after a member block failed.
+
+    ``pool`` is the lane's whole free pool in catalog (insertion) order —
+    the index space the legacy ``random`` policy draws from; ``candidates``
+    is the speed-matched depth-cut slice the legacy ``qstr`` policy
+    searches.  Both are precomputed by the allocator so policies never
+    depend on catalog internals.  ``rng`` is the FTL's historical
+    ``derive_seed(seed, "ftl", "repair")`` stream, passed through so legacy
+    repair behavior stays byte-identical; new policies preferring their own
+    stream should use :meth:`Policy.policy_rng` instead.
+    """
+
+    lane: int
+    speed_class: SpeedClass
+    survivors: Tuple[BlockRecord, ...]
+    pool: Tuple[BlockRecord, ...]
+    candidates: Tuple[BlockRecord, ...]
+    rng: np.random.Generator
+
+
+# ---------------------------------------------------------------------------
+# policy base classes
+# ---------------------------------------------------------------------------
+
+
+class Policy:
+    """Base of every pluggable decision policy.
+
+    Holds the frozen spec it was built from plus the root seed; stateful
+    subclasses keep their online state on the instance (plain picklable
+    attributes only).
+    """
+
+    #: which decision point this policy serves; set by each point base.
+    point: ClassVar[str] = ""
+
+    def __init__(self, spec: PolicySpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def short_name(self) -> str:
+        return self.spec.short_name
+
+    def policy_rng(self) -> np.random.Generator:
+        """This policy's own deterministic stream, labeled ``"policy"``.
+
+        Every random draw a policy makes must come from a stream created
+        here (lint rule RNG005 enforces the label), keyed by the policy's
+        registered name so distinct policies never share a stream.
+        """
+        return np.random.default_rng(derive_seed(self.seed, "policy", self.spec.name))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec.text()!r}, seed={self.seed})"
+
+
+class AssemblyPolicy(Policy):
+    """Chooses each non-reference member during superblock assembly."""
+
+    point: ClassVar[str] = "assembly"
+
+    def choose(self, context: AssemblyContext) -> BlockRecord:
+        raise NotImplementedError
+
+    def choose_member(
+        self,
+        speed_class: SpeedClass,
+        reference: BlockRecord,
+        candidates: Tuple[BlockRecord, ...],
+    ) -> BlockRecord:
+        """Adapter for :class:`repro.core.assembler.OnDemandAssembler`.
+
+        The core layer cannot import policy types, so it calls this
+        positional form (its ``MemberChooser`` protocol); the context
+        object is built here.
+        """
+        return self.choose(
+            AssemblyContext(
+                speed_class=speed_class,
+                reference=reference,
+                candidates=candidates,
+                lane=candidates[0].lane if candidates else -1,
+            )
+        )
+
+    def observe_program(
+        self, lane: int, plane: int, block: int, lwl: int, latency_us: float
+    ) -> None:
+        """Measured program latency feedback (no-op unless learning)."""
+
+
+class AllocationPolicy(Policy):
+    """Routes writes to a stream (fast/slow, express/bulk)."""
+
+    point: ClassVar[str] = "allocation"
+
+    def place(self, context: AllocationContext) -> AllocationDecision:
+        raise NotImplementedError
+
+    def observe_flush(
+        self, stream: str, completion_us: float, host_pages: int
+    ) -> None:
+        """Super-word-line completion feedback (no-op unless learning)."""
+
+
+class GcVictimPolicy(Policy):
+    """Picks the sealed superblock garbage collection reclaims."""
+
+    point: ClassVar[str] = "gc_victim"
+
+    def pick(self, context: GcVictimContext) -> Optional[int]:
+        raise NotImplementedError
+
+
+class WearPolicy(Policy):
+    """Picks the sealed superblock a due wear check rotates (or None)."""
+
+    point: ClassVar[str] = "wear"
+
+    def pick(self, context: WearContext) -> Optional[int]:
+        raise NotImplementedError
+
+
+class RepairPolicy(Policy):
+    """Drafts the spare block that repairs a damaged superblock."""
+
+    point: ClassVar[str] = "repair"
+
+    def draft(self, context: RepairContext) -> BlockRecord:
+        raise NotImplementedError
+
+
+#: Decision-point name -> required base class, for registry validation.
+POINT_BASES = {
+    "assembly": AssemblyPolicy,
+    "allocation": AllocationPolicy,
+    "gc_victim": GcVictimPolicy,
+    "wear": WearPolicy,
+    "repair": RepairPolicy,
+}

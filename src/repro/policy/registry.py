@@ -1,0 +1,113 @@
+"""Name-based policy registry, mirroring ``repro.exp.tasks``.
+
+Policies register under ``"<prefix>.<name>"`` (``"assembly.qstr"``,
+``"repair.random"``, ...); the prefix binds the policy to its decision
+point, and :func:`get_policy` resolves spec names back to classes at stack
+construction time — so unknown names fail loudly when a config is *used*,
+not when it is built (specs must stay constructible before the policy
+modules import).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type, TypeVar
+
+from repro.policy.base import POINT_BASES, Policy
+from repro.policy.spec import POINT_PREFIXES, PolicySpec
+
+P = TypeVar("P", bound=Type[Policy])
+
+
+@dataclass(frozen=True)
+class RegisteredPolicy:
+    """One registry entry."""
+
+    name: str
+    cls: Type[Policy]
+    point: str
+    description: str
+
+
+#: registered name -> entry; populated by the :func:`register_policy`
+#: decorators in ``repro.policy.static`` / ``repro.policy.learned`` (and by
+#: downstream packages registering their own).
+POLICIES: Dict[str, RegisteredPolicy] = {}
+
+_PREFIX_TO_POINT = {prefix: point for point, prefix in POINT_PREFIXES.items()}
+
+
+def register_policy(name: str, *, description: str = "") -> Callable[[P], P]:
+    """Class decorator: register a :class:`Policy` subclass under ``name``.
+
+    The name's prefix must match a decision point and the class must extend
+    that point's base class; duplicate names are rejected so two imports
+    cannot silently shadow each other.
+    """
+    prefix = name.split(".", 1)[0] if "." in name else name
+    point = _PREFIX_TO_POINT.get(prefix)
+    if point is None:
+        raise ValueError(
+            f"policy name {name!r} must start with one of "
+            f"{sorted(_PREFIX_TO_POINT)} followed by '.'"
+        )
+
+    def decorator(cls: P) -> P:
+        base = POINT_BASES[point]
+        if not (isinstance(cls, type) and issubclass(cls, base)):
+            raise TypeError(
+                f"{name!r} must be registered on a {base.__name__} subclass"
+            )
+        existing = POLICIES.get(name)
+        if existing is not None and existing.cls is not cls:
+            raise ValueError(f"policy {name!r} is already registered")
+        POLICIES[name] = RegisteredPolicy(
+            name=name,
+            cls=cls,
+            point=point,
+            description=description or (cls.__doc__ or "").strip().split("\n")[0],
+        )
+        return cls
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in policy modules so their decorators have run.
+
+    Lets callers resolve ``"repair.qstr"`` etc. without having imported
+    ``repro.policy`` as a package first (e.g. via ``repro.ftl`` alone).
+    """
+    from repro.policy import learned, static  # noqa: F401
+
+
+def get_policy(name: str) -> Type[Policy]:
+    """The registered class for ``name``; raises on unknown names."""
+    entry = POLICIES.get(name)
+    if entry is None:
+        _ensure_builtins()
+        entry = POLICIES.get(name)
+    if entry is None:
+        raise ValueError(
+            f"unknown policy {name!r}; registered: {sorted(POLICIES)}"
+        )
+    return entry.cls
+
+
+def policy_names(point: Optional[str] = None) -> List[str]:
+    """All registered names, optionally restricted to one decision point."""
+    if point is not None and point not in POINT_PREFIXES:
+        raise ValueError(
+            f"unknown policy point {point!r}; pick from {sorted(POINT_PREFIXES)}"
+        )
+    _ensure_builtins()
+    return sorted(
+        name
+        for name, entry in POLICIES.items()
+        if point is None or entry.point == point
+    )
+
+
+def make_policy(spec: PolicySpec, seed: int = 0) -> Policy:
+    """Instantiate the registered policy a spec names."""
+    return get_policy(spec.name)(spec, seed)

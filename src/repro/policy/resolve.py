@@ -1,0 +1,82 @@
+"""Spec -> instance resolution, including the legacy repair shim.
+
+Only frozen :class:`~repro.policy.spec.PolicySpec` values cross process
+boundaries; each sweep worker calls :func:`resolve_policies` when it builds
+its stack, so live policy state (RNGs, online estimates) is always born
+inside the process that uses it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.policy.base import (
+    AllocationPolicy,
+    AssemblyPolicy,
+    GcVictimPolicy,
+    Policy,
+    RepairPolicy,
+    WearPolicy,
+)
+from repro.policy.registry import make_policy
+from repro.policy.spec import DEFAULT_SPECS, PolicyConfig, PolicySpec
+
+
+@dataclass
+class ResolvedPolicies:
+    """The five live policy instances one FTL consults."""
+
+    assembly: AssemblyPolicy
+    allocation: AllocationPolicy
+    gc_victim: GcVictimPolicy
+    wear: WearPolicy
+    repair: RepairPolicy
+
+
+def _resolve_one(point: str, spec: Optional[PolicySpec], seed: int) -> Policy:
+    if spec is None:
+        spec = DEFAULT_SPECS[point]
+    instance = make_policy(spec, seed)
+    if instance.point != point:
+        raise ValueError(
+            f"policy {spec.name!r} serves point {instance.point!r}, "
+            f"not {point!r}"
+        )
+    return instance
+
+
+def resolve_policies(
+    policies: Optional[PolicyConfig] = None,
+    *,
+    seed: int = 0,
+    legacy_repair: Optional[str] = None,
+) -> ResolvedPolicies:
+    """Build the live policy set for one FTL.
+
+    ``legacy_repair`` is the deprecated ``FtlConfig.repair_policy`` string;
+    it only applies while ``policies.repair`` is unset, and any non-default
+    value raises a :class:`DeprecationWarning` pointing at the replacement.
+    """
+    if policies is None:
+        policies = PolicyConfig()
+    repair_spec = policies.repair
+    if repair_spec is None and legacy_repair is not None:
+        if legacy_repair != "qstr":
+            warnings.warn(
+                f"FtlConfig.repair_policy={legacy_repair!r} is deprecated; "
+                f"set SimConfig.policies.repair to "
+                f"'repair.{legacy_repair}' instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        repair_spec = PolicySpec(f"repair.{legacy_repair}")
+    resolved = ResolvedPolicies(
+        assembly=_resolve_one("assembly", policies.assembly, seed),  # type: ignore[arg-type]
+        allocation=_resolve_one("allocation", policies.allocation, seed),  # type: ignore[arg-type]
+        gc_victim=_resolve_one("gc_victim", policies.gc_victim, seed),  # type: ignore[arg-type]
+        wear=_resolve_one("wear", policies.wear, seed),  # type: ignore[arg-type]
+        repair=_resolve_one("repair", repair_spec, seed),  # type: ignore[arg-type]
+    )
+    return resolved

@@ -33,6 +33,7 @@ def test_registry_has_all_rule_families() -> None:
         "RNG002",
         "RNG003",
         "RNG004",
+        "RNG005",
         "DET001",
         "DET002",
         "LAY001",
@@ -134,6 +135,38 @@ def test_rng004_scoped_to_faults_modules_only() -> None:
         r = np.random.default_rng(derive_seed(7, "chip", 3))
     """
     assert "RNG004" not in codes(run(source, module="repro.ftl.ftl"))
+
+
+# ---------------------------------------------------------------- RNG005
+
+
+def test_rng005_flags_unlabeled_stream_in_policy_module() -> None:
+    source = """
+        import numpy as np
+        from repro.utils.rng import derive_seed
+        r = np.random.default_rng(derive_seed(7, "bandit"))
+    """
+    findings = run(source, module="repro.policy.learned")
+    assert "RNG005" in codes(findings)
+
+
+def test_rng005_allows_policy_labeled_stream() -> None:
+    clean = """
+        import numpy as np
+        from repro.utils.rng import derive_seed
+        r = np.random.default_rng(derive_seed(7, "policy", "allocation.bandit"))
+    """
+    assert "RNG005" not in codes(run(clean, module="repro.policy.learned"))
+
+
+def test_rng005_scoped_to_policy_modules_only() -> None:
+    # the same unlabeled stream outside repro.policy is RNG005-clean
+    source = """
+        import numpy as np
+        from repro.utils.rng import derive_seed
+        r = np.random.default_rng(derive_seed(7, "chip", 3))
+    """
+    assert "RNG005" not in codes(run(source, module="repro.ftl.ftl"))
 
 
 # ---------------------------------------------------------------- DET001
