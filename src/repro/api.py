@@ -9,6 +9,8 @@ rely on across refactors:
   :class:`Sweep`, :func:`run_sweep` (also exported as :func:`run`),
   :class:`ResultCache`, the task registry;
 * device construction — geometry/variation model, chips, pools, FTL, SSD;
+* vector backend — batch kernels and the struct-of-arrays engine behind
+  ``SimConfig.backend == "vector"`` (byte-identical to scalar);
 * decision policies — the :class:`Policy` protocol, its per-point base
   classes and contexts, the name registry and :func:`resolve_policies`;
 * method evaluation — assemblers, :func:`evaluate_assembler`,
@@ -145,6 +147,30 @@ from repro.faults import (
 )
 from repro.ftl import Ftl, FtlConfig, WearLevelingConfig, WriteStream
 from repro.ftl.config import REPAIR_POLICIES
+from repro.kernels import (
+    BATCH_SIGNATURE_BUILDERS,
+    ArrayPageMapper,
+    EccBatchResult,
+    SuperwlStats,
+    VectorFtl,
+    VectorSsd,
+    batch_erase_latencies,
+    batch_lwl_rank,
+    batch_pwl_rank,
+    batch_str_median,
+    batch_str_rank,
+    block_latency_stack,
+    block_program_totals,
+    ecc_read_batch,
+    eigen_bitvectors,
+    eigen_distance_matrix,
+    fill_request_count,
+    pack_eigen_bits,
+    rber_batch,
+    sequential_fill_prefix,
+    signature_distance_matrix,
+    superwl_stats,
+)
 from repro.nand import (
     PAPER_GEOMETRY,
     SMALL_GEOMETRY,
@@ -276,6 +302,34 @@ DEVICE_API = (
     "REPAIR_POLICIES",
     "Ssd",
     "TimingConfig",
+)
+
+#: vector backend (``repro.kernels``): struct-of-arrays batch twins of the
+#: scalar hot paths, plus the engine classes ``build_stack`` swaps in when
+#: ``SimConfig.backend == "vector"``.  Byte-identical to the scalar path.
+KERNELS_API = (
+    "VectorSsd",
+    "VectorFtl",
+    "ArrayPageMapper",
+    "BATCH_SIGNATURE_BUILDERS",
+    "batch_lwl_rank",
+    "batch_pwl_rank",
+    "batch_str_rank",
+    "batch_str_median",
+    "pack_eigen_bits",
+    "eigen_bitvectors",
+    "signature_distance_matrix",
+    "eigen_distance_matrix",
+    "SuperwlStats",
+    "superwl_stats",
+    "block_latency_stack",
+    "block_program_totals",
+    "batch_erase_latencies",
+    "EccBatchResult",
+    "ecc_read_batch",
+    "rber_batch",
+    "fill_request_count",
+    "sequential_fill_prefix",
 )
 
 #: decision-policy registry (``repro.policy``): the seedable policy protocol
@@ -446,6 +500,7 @@ UTILS_API = (
 API_SECTIONS = (
     ("experiment", EXPERIMENT_API),
     ("device", DEVICE_API),
+    ("kernels", KERNELS_API),
     ("policy", POLICY_API),
     ("faults", FAULTS_API),
     ("assembly", ASSEMBLY_API),

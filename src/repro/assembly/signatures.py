@@ -51,9 +51,11 @@ def pwl_rank_signature(measurement: BlockMeasurement) -> np.ndarray:
     """
     matrix = measurement.wl_latencies_us  # (layers, strings)
     layers, strings = matrix.shape
+    order = np.argsort(matrix, axis=0, kind="stable")
     signature = np.empty((layers, strings), dtype=np.uint16)
-    for string in range(strings):
-        signature[:, string] = _stable_ranks(matrix[:, string])
+    np.put_along_axis(
+        signature, order, np.arange(layers, dtype=np.uint16)[:, None], axis=0
+    )
     return signature.reshape(-1)
 
 
@@ -61,9 +63,11 @@ def str_rank_signature(measurement: BlockMeasurement) -> np.ndarray:
     """Per-layer ranks of the strings (direction 7): values 0..strings-1."""
     matrix = measurement.wl_latencies_us
     layers, strings = matrix.shape
+    order = np.argsort(matrix, axis=1, kind="stable")
     signature = np.empty((layers, strings), dtype=np.uint16)
-    for layer in range(layers):
-        signature[layer] = _stable_ranks(matrix[layer])
+    np.put_along_axis(
+        signature, order, np.arange(strings, dtype=np.uint16)[None, :], axis=1
+    )
     return signature.reshape(-1)
 
 
@@ -76,10 +80,11 @@ def str_median_signature(measurement: BlockMeasurement) -> np.ndarray:
     matrix = measurement.wl_latencies_us
     layers, strings = matrix.shape
     fast_slots = strings // 2
+    order = np.argsort(matrix, axis=1, kind="stable")
     signature = np.ones((layers, strings), dtype=np.uint16)
-    for layer in range(layers):
-        order = np.argsort(matrix[layer], kind="stable")
-        signature[layer, order[:fast_slots]] = 0
+    np.put_along_axis(
+        signature, order[:, :fast_slots], np.uint16(0), axis=1
+    )
     return signature.reshape(-1)
 
 

@@ -61,6 +61,17 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2024, help="testbed seed")
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=["scalar", "vector"],
+        default="scalar",
+        help="execution backend: reference scalar engine or the numpy "
+        "vector engine (byte-identical results, vector is faster); "
+        "$REPRO_BACKEND upgrades the scalar default",
+    )
+
+
 def _add_policy_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--policy",
@@ -164,6 +175,9 @@ def _device_config(
         requests=requests,
         trace_path=getattr(args, "trace", None) if args.command == "replay" else None,
     )
+    backend = getattr(args, "backend", "scalar")
+    if backend != "scalar":
+        config = config.with_(backend=backend)
     return _apply_fault_args(config, args)
 
 
@@ -432,6 +446,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed, chips=args.chips, pool_blocks=args.blocks
         )
     base = _apply_fault_args(base, args)
+    if args.backend != "scalar":
+        # backend is compare=False, so cell config hashes (and the result
+        # cache) stay shared across backends — legal because the backends
+        # are byte-identical
+        base = base.with_(backend=args.backend)
     params = {}
     if args.methods:
         params["methods"] = args.methods.split(",")
@@ -551,6 +570,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             scale,
             repetitions=args.repetitions,
             echo=lambda line: print(line, file=sys.stderr),
+            backend=args.backend,
         )
         errors = validate_bench_doc(doc)
         if errors:
@@ -563,6 +583,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         print(render_suite(doc))
         print(f"wrote bench document: {out}", file=sys.stderr)
+
+    gate_failed = False
+    if args.min_vector_speedup is not None:
+        entry = doc.get("metrics", {}).get("replay_vector_speedup")
+        speedup = entry.get("value") if isinstance(entry, dict) else None
+        if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+            print(
+                "repro bench: document has no replay_vector_speedup metric "
+                "(regenerate it with 'repro bench')",
+                file=sys.stderr,
+            )
+            return 2
+        verdict = "ok" if speedup >= args.min_vector_speedup else "FAIL"
+        print(
+            f"vector speedup gate: {speedup:.2f}x "
+            f"(required >= {args.min_vector_speedup:.2f}x) {verdict}"
+        )
+        gate_failed = speedup < args.min_vector_speedup
 
     if args.compare:
         try:
@@ -592,8 +630,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 2
         outcome = compare_docs(doc, baseline, scale=tolerance_scale)
         print(render_comparison(outcome))
-        return 0 if outcome.passed else 1
-    return 0
+        return 0 if outcome.passed and not gate_failed else 1
+    return 1 if gate_failed else 0
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
@@ -756,6 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--blocks", type=int, default=48)
     replay.add_argument("--chips", type=int, default=4)
     replay.add_argument("--seed", type=int, default=2024)
+    _add_backend_arg(replay)
     _add_policy_arg(replay)
     replay.set_defaults(func=cmd_replay)
 
@@ -788,6 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="deprecated alias for --policy repair=repair.NAME",
     )
+    _add_backend_arg(run)
     _add_policy_arg(run)
     run.set_defaults(func=cmd_run)
 
@@ -846,6 +886,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="deprecated alias for --policy repair=repair.NAME",
     )
+    _add_backend_arg(sweep)
     _add_policy_arg(sweep)
     sweep.add_argument(
         "--cell-timeout",
@@ -937,6 +978,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--top", type=int, default=15, help="row count for --hotspots"
+    )
+    _add_backend_arg(bench)
+    bench.add_argument(
+        "--min-vector-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail (exit 1) unless replay_vector_speedup >= X "
+        "(the vectorization acceptance gate)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -114,6 +114,29 @@ class GatheringUnit:
             return record
         return None
 
+    def complete_block(self, record: BlockRecord) -> None:
+        """Deliver a whole block's finished record in one step.
+
+        The vector backend computes a block's latency sum and eigen bits in
+        bulk at seal time instead of feeding word-lines one by one; this
+        closes the open block with the externally computed record.  Only a
+        *fresh* open block (no word-lines reported) may be completed this
+        way — mixing per-word-line reports with a bulk record would double
+        count.
+        """
+        key = (record.lane, record.plane, record.block)
+        state = self._open.get(key)
+        if state is None:
+            raise GatheringError(f"block {key} is not open for gathering")
+        if state.next_lwl != 0:
+            raise GatheringError(
+                f"block {key} already has {state.next_lwl} word-line reports"
+            )
+        del self._open[key]
+        self.completed.append(record)
+        if self._on_block_complete is not None:
+            self._on_block_complete(record)
+
     def gather_measurement(
         self, lane: int, plane: int, block: int, wl_latencies: np.ndarray, pe_cycles: int = 0
     ) -> BlockRecord:

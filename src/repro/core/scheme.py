@@ -130,6 +130,19 @@ class QstrMedScheme:
             self._gather_reports.inc()
         self._gathering.report(lane, plane, block, lwl, latency_us)
 
+    def ingest_block_record(self, record: BlockRecord, reports: int) -> None:
+        """Bulk-deliver a fully programmed block's gathered metadata.
+
+        Equivalent to ``reports`` successive :meth:`note_wordline_programmed`
+        calls that end with this record: the gather counter advances by
+        ``reports`` and the record lands in the pending set via the normal
+        completion callback.  The vector backend uses this at seal time
+        after computing latency sums and eigen bits in bulk.
+        """
+        if self._counters is not None:
+            self._gather_reports.inc(reports)
+        self._gathering.complete_block(record)
+
     def _on_block_gathered(self, record: BlockRecord) -> None:
         if self._counters is not None:
             self._blocks_gathered.inc()

@@ -16,12 +16,13 @@ behave identically.
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import List, Optional
 
 from repro.assembly.base import LanePool
 from repro.assembly.pools import build_lane_pools
-from repro.exp.config import SimConfig
+from repro.exp.config import BACKENDS, SimConfig
 from repro.faults.injector import make_injector
 from repro.ftl.config import FtlConfig
 from repro.ftl.ftl import Ftl
@@ -83,6 +84,22 @@ class Stack:
         ]
         self._ssd: Optional[Ssd] = None
 
+    def resolved_backend(self) -> str:
+        """The effective execution backend for this stack.
+
+        The ``REPRO_BACKEND`` environment variable upgrades the default
+        scalar backend (so CI can run an unmodified command matrix on both
+        backends); an explicit ``config.backend`` always wins.
+        """
+        if self.config.backend != "scalar":
+            return self.config.backend
+        env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+        if not env:
+            return self.config.backend
+        if env not in BACKENDS:
+            raise ValueError(f"REPRO_BACKEND must be one of {BACKENDS}, got {env!r}")
+        return env
+
     def pools(self) -> List[LanePool]:
         """Probe the configured block range on every chip (one lane each).
 
@@ -117,7 +134,26 @@ class Stack:
                 seed=policy_seed,
                 legacy_repair=ftl_config.repair_policy,
             )
-            ftl = Ftl(
+            # The vector engine only accelerates stacks it can reproduce
+            # bit-for-bit; anything fancier (faults, learned policies,
+            # steering, parity) builds the scalar reference classes.  The
+            # VectorFtl gates its own fast paths too — this check just
+            # avoids constructing vector machinery that would immediately
+            # fall back.
+            use_vector = (
+                self.resolved_backend() == "vector"
+                and config.faults is None
+                and config.policies.is_default
+                and not ftl_config.superpage_steering
+                and not ftl_config.parity_protection
+            )
+            if use_vector:
+                from repro.kernels.engine import VectorFtl, VectorSsd
+
+                ftl_cls, ssd_cls = VectorFtl, VectorSsd
+            else:
+                ftl_cls, ssd_cls = Ftl, Ssd
+            ftl = ftl_cls(
                 self.chips,
                 ftl_config,
                 allocator_kind=config.allocator,
@@ -127,7 +163,7 @@ class Stack:
                 policies=policies,
             )
             ftl.format()
-            self._ssd = Ssd(ftl, config.timing)
+            self._ssd = ssd_cls(ftl, config.timing)
         return self._ssd
 
     @property
@@ -142,6 +178,36 @@ class Stack:
 
             assert workload.trace_path is not None  # validated by the config
             requests = load_trace(workload.trace_path)
+        elif (
+            workload.requests is not None
+            and self.resolved_backend() == "vector"
+        ):
+            from repro.kernels.workload import (
+                fill_request_count,
+                sequential_fill_prefix,
+            )
+            from repro.workloads.synthetic import ArrivalProcess
+
+            logical_pages = self.ftl.logical_pages
+            if workload.requests <= fill_request_count(logical_pages):
+                # the cap lands inside the sequential fill, so the zipf tail
+                # would be truncated away anyway: generate only the prefix
+                # (byte-identical — see repro.kernels.workload)
+                return sequential_fill_prefix(
+                    logical_pages,
+                    workload.requests,
+                    arrivals=ArrivalProcess(
+                        mean_interarrival_us=workload.interarrival_us
+                    ),
+                    seed=workload.fill_seed,
+                )
+            requests = synthetic_requests(
+                logical_pages,
+                interarrival_us=workload.interarrival_us,
+                overwrite_fraction=workload.overwrite_fraction,
+                fill_seed=workload.fill_seed,
+                overwrite_seed=workload.overwrite_seed,
+            )
         else:
             requests = synthetic_requests(
                 self.ftl.logical_pages,

@@ -39,6 +39,8 @@ ALLOCATOR_KINDS: Tuple[str, ...] = ("qstr", "random", "sequential", "pgm_sorted"
 
 WORKLOAD_KINDS: Tuple[str, ...] = ("fill_zipf", "trace")
 
+BACKENDS: Tuple[str, ...] = ("scalar", "vector")
+
 
 @dataclass(frozen=True)
 class WorkloadConfig:
@@ -99,8 +101,15 @@ class SimConfig:
     #: pluggable decision policies; the all-unset default replicates the
     #: historical hard-coded behavior (see :mod:`repro.policy`).
     policies: PolicyConfig = field(default_factory=PolicyConfig)
+    #: execution backend: ``"scalar"`` (the reference) or ``"vector"``
+    #: (numpy-batched hot paths, byte-identical results — DESIGN.md §13).
+    #: Excluded from equality, serialization and content hashes: the backend
+    #: changes how a result is computed, never what it is.
+    backend: str = field(default="scalar", compare=False)
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
         if self.chips < 2:
             raise ValueError("need at least two chips (lanes)")
         if self.pool_blocks < 1:
@@ -211,6 +220,9 @@ class SimConfig:
         fault injection / the policy layer existed.
         """
         data = dataclasses.asdict(self)
+        # the backend is an execution detail: two configs differing only in
+        # backend are the same experiment and must hash identically
+        data.pop("backend", None)
         if data.get("faults") is None:
             data.pop("faults", None)
         if self.policies.is_default:

@@ -1,0 +1,99 @@
+"""Batch twins of the RBER model and the ECC read-retry ladder.
+
+``rber_batch`` vectorizes the log-space accumulation of
+:func:`repro.nand.reliability.rber` in the scalar function's exact
+binary-operation order, then applies ``math.exp`` *elementwise* — numpy's
+SIMD ``np.exp`` may differ from libm's ``math.exp`` in the last ulp, and the
+equivalence contract (DESIGN.md §13) demands bit-identity, so the final
+transcendental step stays scalar.
+
+``ecc_read_batch`` is a struct-of-arrays facade over
+:meth:`repro.nand.reliability.EccEngine.read_page`.  It deliberately loops
+pages: the retry ladder draws a *variable* number of binomial samples from
+one shared RNG stream per page, so any reordering or batching of the draws
+would change every subsequent sample.  Draw-order fidelity beats
+vectorization here; the payoff is the columnar result layout downstream
+analysis wants, not a faster inner loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.nand.geometry import PageType
+from repro.nand.reliability import EccEngine, ReliabilityParams
+
+
+def rber_batch(
+    params: ReliabilityParams,
+    pe: Union[np.ndarray, Sequence[int]],
+    retention_hours: Union[np.ndarray, Sequence[float]],
+    page_types: Union[np.ndarray, Sequence[PageType], Sequence[int]],
+    layer_factor_log: Union[np.ndarray, Sequence[float], float] = 0.0,
+    block_factor_log: Union[np.ndarray, Sequence[float], float] = 0.0,
+) -> np.ndarray:
+    """Raw bit error rates of many pages at once.
+
+    ``page_types`` accepts :class:`PageType` members or their integer
+    values.  Every element equals the scalar :func:`rber` of the same
+    inputs exactly.
+    """
+    pe_arr = np.asarray(pe, dtype=float)
+    ret_arr = np.asarray(retention_hours, dtype=float)
+    type_values = np.asarray(
+        [p.value if isinstance(p, PageType) else int(p) for p in page_types],
+        dtype=float,
+    )
+    layer_arr = np.asarray(layer_factor_log, dtype=float)
+    block_arr = np.asarray(block_factor_log, dtype=float)
+    if np.any(pe_arr < 0) or np.any(ret_arr < 0):
+        raise ValueError("pe and retention must be non-negative")
+    log_rate = (
+        math.log(params.base_rber)
+        + pe_arr / params.pe_scale_cycles
+        + ret_arr / params.retention_scale_hours
+        + type_values * math.log(params.page_type_factor_step)
+        + layer_arr
+        + block_arr
+    )
+    flat = np.atleast_1d(np.asarray(log_rate, dtype=float))
+    # elementwise math.exp: keeps the scalar reference's libm rounding
+    rates = np.array([min(0.5, math.exp(v)) for v in flat.tolist()])
+    return rates.reshape(np.shape(log_rate))
+
+
+@dataclass(frozen=True)
+class EccBatchResult:
+    """Columnar outcome of pushing a page batch through the ECC engine."""
+
+    corrected_bits: np.ndarray
+    retries: np.ndarray
+    extra_latency_us: np.ndarray
+    uncorrectable: np.ndarray
+
+
+def ecc_read_batch(
+    engine: EccEngine,
+    page_rbers: Union[np.ndarray, Sequence[float]],
+    rng: np.random.Generator,
+) -> EccBatchResult:
+    """Run pages through the retry ladder in order, returning column arrays.
+
+    Pages are processed strictly in sequence against the shared ``rng`` so
+    the draw order — and therefore every sampled error count — matches a
+    loop of scalar :meth:`EccEngine.read_page` calls bit for bit.
+    """
+    rbers = np.asarray(page_rbers, dtype=float)
+    corrections = [engine.read_page(float(value), rng) for value in rbers]
+    return EccBatchResult(
+        corrected_bits=np.array(
+            [c.corrected_bits for c in corrections], dtype=np.int64
+        ),
+        retries=np.array([c.retries for c in corrections], dtype=np.int64),
+        extra_latency_us=np.array([c.extra_latency_us for c in corrections]),
+        uncorrectable=np.array([c.uncorrectable for c in corrections], dtype=bool),
+    )

@@ -1,0 +1,57 @@
+"""Cap-aware synthetic workload generation for the vector backend.
+
+``Stack.requests()`` builds the *entire* fill + zipf request list and then
+truncates to ``workload.requests``.  On the scaled bench that means drawing
+~9,000 fill requests plus a zipf permutation of the whole logical space to
+keep 4,000 requests.  :func:`sequential_fill_prefix` builds only the first
+``count`` fill requests and is byte-identical to
+``sequential_fill(...)[:count]`` because numpy's ``Generator`` draws arrays
+element-sequentially from the bit stream: the first ``k`` values of a
+size-``n`` ``exponential`` draw equal a size-``k`` draw from a freshly
+seeded generator, and ``np.cumsum`` is a strict left fold so the arrival
+prefix matches too (``tests/test_kernels_differential.py`` pins both
+properties).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+from repro.workloads.model import OpKind, Request
+from repro.workloads.synthetic import ArrivalProcess
+
+
+def sequential_fill_prefix(
+    logical_pages: int,
+    count: int,
+    *,
+    start: int = 0,
+    pages_per_request: int = 8,
+    arrivals: ArrivalProcess = ArrivalProcess(),
+    seed: int = 0,
+) -> List[Request]:
+    """The first ``count`` requests of :func:`~repro.workloads.sequential_fill`."""
+    # Reusing sequential_fill's ("seq") stream is the point: the prefix is
+    # byte-identical only if both consumers draw from the same label.
+    rng = np.random.default_rng(derive_seed(seed, "seq"))  # reprolint: disable=RNG010
+    lpns = list(range(start, logical_pages, pages_per_request))[:count]
+    times = arrivals.times(len(lpns), rng)
+    return [
+        Request(
+            time_us=float(t),
+            op=OpKind.WRITE,
+            lpn=lpn,
+            pages=min(pages_per_request, logical_pages - lpn),
+        )
+        for lpn, t in zip(lpns, times)
+    ]
+
+
+def fill_request_count(
+    logical_pages: int, start: int = 0, pages_per_request: int = 8
+) -> int:
+    """How many requests a full :func:`sequential_fill` would emit."""
+    return len(range(start, logical_pages, pages_per_request))

@@ -4,7 +4,8 @@ The simulator is layered as a DAG::
 
     utils → faults → nand → characterization → assembly → core → policy → ftl → ssd
         ↘ obs ————— (importable by core / ftl / ssd / …) ———————→ workloads
-        ↘ perf ——— (importable by every simulation layer) ——————→ exp
+        ↘ perf ——— (importable by every simulation layer) ——————→ kernels
+                                                               → exp
                                                                → analysis
                                                                → lint / cli / api
 
@@ -29,8 +30,13 @@ chips consult an injector on every operation, so the package must live
 (the unified config / construction / sweep substrate) sits above
 ``workloads`` — it builds full device stacks and replays workloads through
 them — and below ``analysis``, whose experiment drivers construct their
-testbeds through it.  ``repro.api`` is the top-level façade benchmarks and
-tools import from.
+testbeds through it.  ``kernels`` (the vectorized batch twins of the scalar
+hot paths, plus the ``backend="vector"`` engine built from them) sits at the
+same height as ``exp``: the engine subclasses the FTL/SSD and generates
+workload prefixes, so it may import everything up to ``workloads``, and only
+``exp`` (which swaps the engine in behind ``SimConfig.backend``) and the
+layers above reach down into it.  ``repro.api`` is the top-level façade
+benchmarks and tools import from.
 
 :data:`LAYER_EXCEPTIONS` lists the few reviewed module-level edges that cross
 the map, each with a justification here rather than in the importing file.
@@ -108,11 +114,28 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
             "utils",
         }
     ),
+    "kernels": frozenset(
+        {
+            "obs",
+            "perf",
+            "faults",
+            "workloads",
+            "ssd",
+            "ftl",
+            "policy",
+            "core",
+            "assembly",
+            "characterization",
+            "nand",
+            "utils",
+        }
+    ),
     "exp": frozenset(
         {
             "obs",
             "perf",
             "faults",
+            "kernels",
             "workloads",
             "ssd",
             "ftl",

@@ -24,6 +24,11 @@ class PageType(Enum):
     MSB = 2
     TSB = 3  # fourth page, QLC only
 
+    # members are singletons compared by identity, so the C-level identity
+    # hash is consistent — and chip page tables key dicts on (lwl, PageType)
+    # hot enough that Enum's by-name hash shows up in profiles
+    __hash__ = object.__hash__
+
     @classmethod
     def for_bits_per_cell(cls, bits_per_cell: int) -> List["PageType"]:
         """The page types present for a given cell technology (1..4 bits)."""

@@ -7,7 +7,10 @@ committed ``BENCH_baseline.json``:
 * ``replay_testbed`` — trace-replay ops/sec on the small device preset
   (the macro number; also profiled once for per-layer wall-time shares);
 * ``replay_scaled``  — the same replay on a scaled-up geometry, so
-  per-op costs that only bite at size are visible;
+  per-op costs that only bite at size are visible; its replay phase is
+  also timed alone on both execution backends (``replay_phase_scalar``
+  / ``replay_phase_vector``), yielding ``replay_vector_speedup`` — the
+  number the vectorization ROADMAP item gates on;
 * ``signatures``     — raw signature-kernel throughput over measured
   blocks (the top entries of ``tools/vector_worklist.json``);
 * ``sweep``          — cold vs warm wall-clock of a tiny cached methods
@@ -174,6 +177,35 @@ def _bench_replay(config: "SimConfig", repetitions: int) -> Dict[str, Any]:
     return _timed_reps(one_rep, repetitions)
 
 
+def _bench_replay_phase(config: "SimConfig", repetitions: int) -> Dict[str, Any]:
+    """Replay-phase-only throughput: the backend speedup measurement.
+
+    Stack construction and workload generation run the same code on both
+    backends, so timing them would dilute the vector engine's effect; each
+    repetition builds a fresh stack untimed and times ``Replayer.replay``
+    alone.
+    """
+    from repro.exp.build import build_stack
+    from repro.workloads.replay import Replayer
+
+    walls: List[float] = []
+    ops = 0
+    for _ in range(repetitions):
+        stack = build_stack(config)
+        requests = stack.requests()
+        watch = Stopwatch()
+        Replayer(stack.ssd).replay(requests)
+        walls.append(watch.elapsed_s())
+        ops = len(requests)
+    median = _median(walls)
+    return {
+        "ops": ops,
+        "wall_s": walls,
+        "median_wall_s": median,
+        "ops_per_s": ops / median if median > 0 else 0.0,
+    }
+
+
 def _profiled_replay_shares(config: "SimConfig") -> Dict[str, float]:
     """One extra profiled replay, reduced to per-layer wall-time shares."""
     from repro.exp.build import build_stack
@@ -337,8 +369,13 @@ def run_suite(
     scale: SuiteScale = QUICK,
     repetitions: Optional[int] = None,
     echo: Optional[Callable[[str], None]] = None,
+    backend: str = "scalar",
 ) -> Dict[str, Any]:
-    """Run the pinned suite and return the schema-valid bench document."""
+    """Run the pinned suite and return the schema-valid bench document.
+
+    ``backend`` selects the execution backend for the replay benches;
+    the backend-vs-backend phase benches always pin their own.
+    """
     reps = scale.repetitions if repetitions is None else repetitions
     if reps < 1:
         raise ValueError("repetitions must be >= 1")
@@ -350,12 +387,26 @@ def run_suite(
     say(f"bench suite '{scale.name}' (median of {reps} repetitions)")
 
     say("  replay_testbed ...")
-    testbed_config = _replay_config(scale, scaled=False)
+    testbed_config = _replay_config(scale, scaled=False).with_(backend=backend)
     replay_testbed = _bench_replay(testbed_config, reps)
     say("  replay_testbed (profiled rep for layer shares) ...")
     shares = _profiled_replay_shares(testbed_config)
     say("  replay_scaled ...")
-    replay_scaled = _bench_replay(_replay_config(scale, scaled=True), reps)
+    scaled_config = _replay_config(scale, scaled=True)
+    replay_scaled = _bench_replay(scaled_config.with_(backend=backend), reps)
+    say("  replay_scaled (replay phase, scalar backend) ...")
+    replay_phase_scalar = _bench_replay_phase(
+        scaled_config.with_(backend="scalar"), reps
+    )
+    say("  replay_scaled (replay phase, vector backend) ...")
+    replay_phase_vector = _bench_replay_phase(
+        scaled_config.with_(backend="vector"), reps
+    )
+    vector_speedup = (
+        replay_phase_vector["ops_per_s"] / replay_phase_scalar["ops_per_s"]
+        if replay_phase_scalar["ops_per_s"] > 0
+        else 0.0
+    )
     say("  signatures ...")
     signatures = _bench_signatures(scale)
     say("  sweep (cold + warm) ...")
@@ -373,6 +424,15 @@ def run_suite(
         ),
         "replay_scaled_wall_s": metric(
             replay_scaled["median_wall_s"], "s", "lower", _TOL_WALL
+        ),
+        "replay_scaled_scalar_ops_per_s": metric(
+            replay_phase_scalar["ops_per_s"], "ops/s", "higher", _TOL_THROUGHPUT
+        ),
+        "replay_scaled_vector_ops_per_s": metric(
+            replay_phase_vector["ops_per_s"], "ops/s", "higher", _TOL_THROUGHPUT
+        ),
+        "replay_vector_speedup": metric(
+            vector_speedup, "x", "higher", _TOL_THROUGHPUT
         ),
         "signature_kernel_sigs_per_s": metric(
             signatures["ops_per_s"], "signatures/s", "higher", _TOL_THROUGHPUT
@@ -398,6 +458,7 @@ def run_suite(
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": scale.name,
+        "backend": backend,
         "repetitions": reps,
         "git_sha": git_sha(),
         "env": env_fingerprint(),
@@ -406,6 +467,8 @@ def run_suite(
         "benches": {
             "replay_testbed": replay_testbed,
             "replay_scaled": replay_scaled,
+            "replay_phase_scalar": replay_phase_scalar,
+            "replay_phase_vector": replay_phase_vector,
             "signatures": signatures,
             "sweep": sweep,
         },

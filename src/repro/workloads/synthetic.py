@@ -42,7 +42,9 @@ def sequential_fill(
     seed: int = 0,
 ) -> List[Request]:
     """Write the whole logical space once, front to back."""
-    rng = np.random.default_rng(derive_seed(seed, "seq"))
+    # repro.kernels.workload.sequential_fill_prefix deliberately shares this
+    # ("seq") stream — its prefix guarantee depends on drawing the same bits.
+    rng = np.random.default_rng(derive_seed(seed, "seq"))  # reprolint: disable=RNG010
     lpns = list(range(start, logical_pages, pages_per_request))
     times = arrivals.times(len(lpns), rng)
     return [

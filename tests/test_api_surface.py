@@ -62,6 +62,29 @@ EXPECTED_EXPORTS = frozenset(
         "probe_testbed",
         "residual_trend_correlation",
         "variability_report",
+        # -- vector kernels (repro.kernels) --
+        "ArrayPageMapper",
+        "BATCH_SIGNATURE_BUILDERS",
+        "EccBatchResult",
+        "SuperwlStats",
+        "VectorFtl",
+        "VectorSsd",
+        "batch_erase_latencies",
+        "batch_lwl_rank",
+        "batch_pwl_rank",
+        "batch_str_median",
+        "batch_str_rank",
+        "block_latency_stack",
+        "block_program_totals",
+        "ecc_read_batch",
+        "eigen_bitvectors",
+        "eigen_distance_matrix",
+        "fill_request_count",
+        "pack_eigen_bits",
+        "rber_batch",
+        "sequential_fill_prefix",
+        "signature_distance_matrix",
+        "superwl_stats",
         # -- decision-policy registry (repro.policy) --
         "AllocationContext",
         "AllocationDecision",

@@ -429,11 +429,23 @@ _DEEP_VIOLATION = textwrap.dedent(
 
 
 class TestDeepLintCommand:
-    def test_deep_repo_clean_modulo_baseline(self, capsys):
+    def test_deep_repo_clean_with_empty_baseline(self, capsys):
+        # The VEC001 grandfather entries were burned down when the signature
+        # kernels were vectorized; the repo is now deep-clean outright.
         assert main(["lint", "--deep"]) == 0
         out = capsys.readouterr().out
         assert "reprolint: clean" in out
-        assert "grandfathered" in out
+        assert "grandfathered" not in out
+
+    def test_baseline_fully_burned_down(self):
+        import json as _json
+        from pathlib import Path
+
+        baseline = _json.loads(
+            (Path(__file__).parent.parent / "tools" / "reprolint_baseline.json")
+            .read_text()
+        )
+        assert baseline["findings"] == {}
 
     def test_deep_flags_dataflow_finding(self, capsys, tmp_path):
         path = _seeded_tree(tmp_path, "manifest.py", _DEEP_VIOLATION)
