@@ -145,6 +145,16 @@ from repro.faults import (
     NullInjector,
     make_injector,
 )
+from repro.exp.build import build_fleet
+from repro.fleet import (
+    CircuitBreaker,
+    FleetConfig,
+    FleetReport,
+    FleetSim,
+    TenantRequest,
+    fleet_workload,
+    tenant_stream,
+)
 from repro.ftl import Ftl, FtlConfig, WearLevelingConfig, WriteStream
 from repro.ftl.config import REPAIR_POLICIES
 from repro.kernels import (
@@ -364,6 +374,19 @@ POLICY_API = (
     "BanditAllocationPolicy",
 )
 
+#: fleet serving layer (``repro.fleet``): sharded multi-SSD serving with
+#: deadlines, hedged reads, circuit breakers and graceful degradation.
+FLEET_API = (
+    "FleetConfig",
+    "FleetSim",
+    "FleetReport",
+    "CircuitBreaker",
+    "TenantRequest",
+    "tenant_stream",
+    "fleet_workload",
+    "build_fleet",
+)
+
 #: deterministic fault injection (``repro.faults``).
 FAULTS_API = (
     "FaultPlan",
@@ -502,6 +525,7 @@ API_SECTIONS = (
     ("device", DEVICE_API),
     ("kernels", KERNELS_API),
     ("policy", POLICY_API),
+    ("fleet", FLEET_API),
     ("faults", FAULTS_API),
     ("assembly", ASSEMBLY_API),
     ("analysis", ANALYSIS_API),

@@ -12,12 +12,26 @@ experiments without writing code:
 * ``repro obs report`` — summarize a recorded JSONL event log;
 * ``repro sweep``   — expand a parameter grid into independent cells and run
   them in parallel with content-hash result caching (``repro.exp``);
+* ``repro fleet``   — serve a sharded multi-tenant workload over N simulated
+  SSDs (deadlines, hedged reads, circuit breakers, graceful degradation);
 * ``repro overhead`` — the computing/space overhead numbers of Section VI;
 * ``repro lint``    — run the ``reprolint`` simulation-invariant checks.
 
 Every subcommand translates its argparse flags into a
 :class:`repro.exp.SimConfig` and builds through the one construction path,
 :func:`repro.exp.build_stack`.
+
+Exit codes — one table for every subcommand, so scripts and CI can branch
+on them without per-command special cases:
+
+* ``0`` — success: the command ran and every gate it checks passed;
+* ``1`` — verdict/gate failure: the command ran to completion but what it
+  measured failed — lint findings, a bench regression or speedup gate
+  miss, failed sweep cells, a device out of space mid-workload, or fleet
+  requests that exhausted every retry;
+* ``2`` — usage error: bad flags, specs, or input files, rejected before
+  (or without) running the experiment — from argparse itself or from the
+  eager validation in the command functions.
 """
 
 from __future__ import annotations
@@ -421,7 +435,10 @@ def _parse_axes(specs: Sequence[str]) -> List[Tuple[str, List[object]]]:
     for spec in specs:
         name, sep, values = spec.partition("=")
         if not sep or not name or not values:
-            raise SystemExit(f"repro sweep: bad --over {spec!r} (want AXIS=V1,V2,...)")
+            # ValueError, not SystemExit: cmd_sweep turns it into the usage
+            # exit code 2 (a bare SystemExit(str) would exit 1 and make a
+            # typo indistinguishable from a failed cell).
+            raise ValueError(f"bad --over {spec!r} (want AXIS=V1,V2,...)")
         axes.append((name, [_parse_axis_value(v) for v in values.split(",")]))
     return axes
 
@@ -446,6 +463,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed, chips=args.chips, pool_blocks=args.blocks
         )
     base = _apply_fault_args(base, args)
+    if args.fleet is not None:
+        from repro.fleet import FleetConfig
+
+        try:
+            fleet = FleetConfig.from_spec(args.fleet) if args.fleet else FleetConfig()
+        except (ValueError, OSError) as error:
+            print(f"repro sweep: bad --fleet {args.fleet!r}: {error}", file=sys.stderr)
+            return 2
+        base = base.with_(fleet=fleet)
     if args.backend != "scalar":
         # backend is compare=False, so cell config hashes (and the result
         # cache) stay shared across backends — legal because the backends
@@ -527,6 +553,135 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(f"wrote sweep manifest: {args.manifest}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import hashlib
+    import json
+    from pathlib import Path
+
+    from repro.exp.build import build_fleet
+    from repro.fleet import FleetConfig
+    from repro.obs import MetricsRegistry, Tracer, write_chrome, write_jsonl
+    from repro.obs.export import to_jsonl
+
+    try:
+        fleet = FleetConfig.from_spec(args.fleet) if args.fleet else FleetConfig()
+        overrides = {
+            key: value
+            for key, value in (
+                ("devices", args.devices),
+                ("tenants", args.tenants),
+                ("requests_per_tenant", args.requests_per_tenant),
+                ("fault_device", args.fault_device),
+            )
+            if value is not None
+        }
+        if overrides:
+            fleet = FleetConfig.from_dict({**fleet.to_dict(), **overrides})
+    except (ValueError, OSError) as error:
+        print(f"repro fleet: bad fleet configuration: {error}", file=sys.stderr)
+        return 2
+    config = SimConfig.device(
+        seed=args.seed, chips=args.chips, blocks=args.blocks
+    ).with_(fleet=fleet)
+    config = _apply_fault_args(config, args)
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    try:
+        sim = build_fleet(config, tracer=tracer, registry=registry)
+    except ValueError as error:
+        print(f"repro fleet: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"serving {fleet.tenants} tenants x {fleet.requests_per_tenant} requests "
+        f"over {fleet.devices} devices ...",
+        file=sys.stderr,
+    )
+    report = sim.run()
+    summary = report.summary()
+    trace = to_jsonl(tracer.events)
+    trace_sha = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+
+    counters = summary["counters"]
+    print(
+        f"fleet: {fleet.devices} devices x {fleet.replicas} replicas, "
+        f"{fleet.tenants} tenants, seed {config.seed}"
+    )
+    print(
+        f"requests: {summary['requests']} acked={counters['acked']} "
+        f"failed={counters['failed']} (elapsed {summary['elapsed_us']:,.0f} us)"
+    )
+    for label, key in (
+        ("all   ", "latency"),
+        ("reads ", "read_latency"),
+        ("writes", "write_latency"),
+    ):
+        tail = summary[key]
+        print(
+            f"  {label} n={tail['count']:6d} p50={tail['p50']:,.1f} "
+            f"p99={tail['p99']:,.1f} p99.9={tail['p999']:,.1f} "
+            f"p99.99={tail['p9999']:,.1f} max={tail['max']:,.1f} us"
+        )
+    print("tenants:")
+    for row in summary["tenants"]:
+        line = (
+            f"  t{row['tenant']:03d} {row['profile']:10s} "
+            f"acked={row['acked']:4d} failed={row['failed']:2d} "
+            f"misses={row['deadline_misses']:2d}"
+        )
+        if "latency" in row:
+            line += (
+                f" p50={row['latency']['p50']:,.1f} "
+                f"p99={row['latency']['p99']:,.1f} us"
+            )
+        print(line)
+    print("devices:")
+    for row in summary["devices"]:
+        state = " EJECTED" if row["ejected"] else ""
+        print(
+            f"  dev{row['device']} submissions={row['submissions']:5d} "
+            f"breaker={row['breaker_state']}/{row['breaker_opens']} "
+            f"hard_faults={row['hard_faults']}{state}"
+        )
+    print(
+        "counters: "
+        + " ".join(
+            f"{name}={counters[name]}"
+            for name in (
+                "hedges",
+                "hedge_wins",
+                "retries",
+                "rejections",
+                "forced_dispatches",
+                "deadline_misses",
+                "breaker_opens",
+                "ejections",
+                "media_faults",
+                "device_errors",
+            )
+        )
+    )
+    print(f"trace sha256: {trace_sha}")
+
+    if args.trace:
+        write_chrome(args.trace, tracer.events)
+        print(
+            f"wrote Chrome trace: {args.trace} ({len(tracer.events)} events)",
+            file=sys.stderr,
+        )
+    if args.jsonl:
+        write_jsonl(args.jsonl, tracer.events)
+        print(f"wrote JSONL event log: {args.jsonl}", file=sys.stderr)
+    if args.summary:
+        doc = dict(summary)
+        doc["trace_sha256"] = trace_sha
+        Path(args.summary).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote summary JSON: {args.summary}", file=sys.stderr)
+    return 1 if counters["failed"] else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -881,6 +1036,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="base-config fault plan: 'program=P,erase=P' or '@plan.json'",
     )
     sweep.add_argument(
+        "--fleet",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="SPEC",
+        help="attach a fleet layer to the base config (for --task fleet): "
+        "'key=value,...' over FleetConfig fields or '@fleet.json'; bare "
+        "--fleet uses the defaults",
+    )
+    sweep.add_argument(
         "--repair",
         choices=["qstr", "random"],
         default=None,
@@ -920,6 +1085,49 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of per-cell echo",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="serve a sharded multi-tenant workload over N simulated SSDs",
+    )
+    fleet.add_argument(
+        "--fleet",
+        default=None,
+        metavar="SPEC",
+        help="fleet configuration: 'key=value,...' over FleetConfig fields "
+        "(profiles takes a +-separated list) or '@fleet.json'",
+    )
+    fleet.add_argument(
+        "--devices", type=int, default=None, help="fleet size (overrides SPEC)"
+    )
+    fleet.add_argument(
+        "--tenants", type=int, default=None, help="tenant count (overrides SPEC)"
+    )
+    fleet.add_argument(
+        "--requests-per-tenant",
+        type=int,
+        default=None,
+        help="requests per tenant stream (overrides SPEC)",
+    )
+    fleet.add_argument(
+        "--fault-device",
+        type=int,
+        default=None,
+        help="device index the --faults plan is installed on (overrides SPEC)",
+    )
+    fleet.add_argument("--blocks", type=int, default=24, help="blocks per plane")
+    fleet.add_argument("--chips", type=int, default=4, help="chips (lanes) per device")
+    fleet.add_argument("--seed", type=int, default=2024)
+    fleet.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="fault plan for the fault device: 'program=P,erase=P' or '@plan.json'",
+    )
+    _add_policy_arg(fleet)
+    fleet.add_argument("--trace", help="write a Chrome trace_event JSON here")
+    fleet.add_argument("--jsonl", help="write the raw JSONL event log here")
+    fleet.add_argument("--summary", help="write the QoS summary JSON here")
+    fleet.set_defaults(func=cmd_fleet)
 
     bench = sub.add_parser(
         "bench",

@@ -19,7 +19,13 @@ and replays workloads through them) and below ``analysis`` (whose drivers
 construct their testbeds through it).
 """
 
-from repro.exp.build import Stack, build_stack, derived_ftl_config, synthetic_requests
+from repro.exp.build import (
+    Stack,
+    build_fleet,
+    build_stack,
+    derived_ftl_config,
+    synthetic_requests,
+)
 from repro.exp.cache import (
     DEFAULT_CACHE_DIR,
     ResultCache,
@@ -62,6 +68,7 @@ __all__ = [
     "ALLOCATOR_KINDS",
     # construction
     "Stack",
+    "build_fleet",
     "build_stack",
     "derived_ftl_config",
     "synthetic_requests",

@@ -24,6 +24,7 @@ from repro.assembly.base import LanePool
 from repro.assembly.pools import build_lane_pools
 from repro.exp.config import BACKENDS, SimConfig
 from repro.faults.injector import make_injector
+from repro.fleet.engine import FleetSim
 from repro.ftl.config import FtlConfig
 from repro.ftl.ftl import Ftl
 from repro.nand.chip import FlashChip
@@ -34,6 +35,7 @@ from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.perf.profiler import profiled
 from repro.policy.resolve import resolve_policies
 from repro.ssd.device import Ssd
+from repro.utils.rng import derive_seed
 from repro.workloads.model import Request
 
 
@@ -241,6 +243,51 @@ def synthetic_requests(
         seed=overwrite_seed,
     )
     return requests
+
+
+@profiled("build.fleet")
+def build_fleet(
+    config: SimConfig,
+    *,
+    tracer: Optional[NullTracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> FleetSim:
+    """Build the fleet serving layer ``config.fleet`` describes.
+
+    Each member device is a full ``build_stack`` stack of this config with
+    its own derived seed (``derive_seed(config.seed, "fleet", "device", i)``,
+    so members have independent variation profiles — real fleets are
+    heterogeneous) and no fleet layer of its own.  The config's fault plan
+    is installed on ``fleet.fault_device`` only; every other member runs
+    fault-free.  Member stacks get the null tracer — the byte-identical
+    JSONL trace the fleet emits is the *serving-layer* event stream, and
+    per-device spans would make it O(device traffic).
+    """
+    fleet = config.fleet
+    if fleet is None:
+        raise ValueError("config.fleet is not set")
+    devices = []
+    for index in range(fleet.devices):
+        member = config.with_(
+            seed=derive_seed(config.seed, "fleet", "device", index),
+            fleet=None,
+            faults=config.faults if index == fleet.fault_device else None,
+        )
+        devices.append(build_stack(member).ssd)
+    pages_per_tenant = min(ssd.ftl.logical_pages for ssd in devices) // fleet.tenants
+    if pages_per_tenant < 1:
+        raise ValueError(
+            f"{fleet.tenants} tenants do not fit in "
+            f"{min(ssd.ftl.logical_pages for ssd in devices)} logical pages"
+        )
+    return FleetSim(
+        fleet,
+        devices,
+        seed=config.seed,
+        pages_per_tenant=pages_per_tenant,
+        tracer=tracer,
+        registry=registry,
+    )
 
 
 @profiled("build.stack")

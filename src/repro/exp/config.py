@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Type, TypeVar, Union
 
 from repro.faults.plan import FaultPlan
+from repro.fleet.config import FleetConfig
 from repro.ftl.config import FtlConfig
 from repro.nand.geometry import PAPER_GEOMETRY, NandGeometry
 from repro.nand.variation import VariationParams
@@ -101,6 +102,9 @@ class SimConfig:
     #: pluggable decision policies; the all-unset default replicates the
     #: historical hard-coded behavior (see :mod:`repro.policy`).
     policies: PolicyConfig = field(default_factory=PolicyConfig)
+    #: fleet serving layer on top of N devices built from this config;
+    #: ``None`` (the default) means a plain single-device run.
+    fleet: Optional[FleetConfig] = None
     #: execution backend: ``"scalar"`` (the reference) or ``"vector"``
     #: (numpy-batched hot paths, byte-identical results — DESIGN.md §13).
     #: Excluded from equality, serialization and content hashes: the backend
@@ -214,10 +218,11 @@ class SimConfig:
     def to_dict(self) -> Dict[str, Any]:
         """A plain JSON-serializable dict (nested dataclasses become dicts).
 
-        The ``faults`` key is omitted entirely when no plan is set, and the
-        ``policies`` key when every policy slot is unset, so pre-existing
-        configs serialize — and content-hash — exactly as they did before
-        fault injection / the policy layer existed.
+        The ``faults`` key is omitted entirely when no plan is set, the
+        ``policies`` key when every policy slot is unset, and the ``fleet``
+        key when no fleet layer is configured, so pre-existing configs
+        serialize — and content-hash — exactly as they did before fault
+        injection / the policy layer / the fleet existed.
         """
         data = dataclasses.asdict(self)
         # the backend is an execution detail: two configs differing only in
@@ -225,6 +230,8 @@ class SimConfig:
         data.pop("backend", None)
         if data.get("faults") is None:
             data.pop("faults", None)
+        if data.get("fleet") is None:
+            data.pop("fleet", None)
         if self.policies.is_default:
             data.pop("policies", None)
         else:

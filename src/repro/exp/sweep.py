@@ -168,11 +168,26 @@ class CellResult:
     failed: bool = False
     wall_s: float = 0.0
     attempts: int = 1
+    #: the cell ran in-process because the worker pool broke mid-sweep.
+    fallback: bool = False
+    #: seconds slept before each retry of this cell (seed-stable schedule),
+    #: pool-side and serial attempts combined, in attempt order.
+    backoffs_s: Tuple[float, ...] = ()
 
     @property
     def provenance(self) -> str:
-        """Where the result came from: ``"cache"`` or ``"computed"``."""
-        return "cache" if self.cached else "computed"
+        """Where the result came from.
+
+        ``"cache"``, ``"computed"``, or ``"serial-fallback"`` — the last
+        meaning computed in-process after a :class:`BrokenProcessPool`
+        downgraded the rest of the sweep to serial execution.  Results are
+        bit-identical either way (cells are pure functions of their
+        payloads), but a fallback run must be distinguishable in the
+        manifest or pool crashes hide in plain sight.
+        """
+        if self.cached:
+            return "cache"
+        return "serial-fallback" if self.fallback else "computed"
 
 
 @dataclass(frozen=True)
@@ -224,7 +239,10 @@ class SweepResult:
         ``attempts`` / ``provenance`` are recorded for *every* cell
         (previously only failure rows carried attempt counts); they are
         host-side telemetry, so manifest consumers comparing results must
-        compare the ``result`` values, never whole rows.
+        compare the ``result`` values, never whole rows.  A ``fallback``
+        marker and the per-cell ``backoffs_s`` retry schedule likewise
+        appear only on cells that ran after a pool break or were actually
+        retried.
         """
         doc: Dict[str, Any] = {
             "task": self.task,
@@ -246,6 +264,12 @@ class SweepResult:
                     "provenance": item.provenance,
                     "wall_s": round(item.wall_s, 6),
                     "attempts": item.attempts,
+                    **({"fallback": True} if item.fallback else {}),
+                    **(
+                        {"backoffs_s": [round(b, 6) for b in item.backoffs_s]}
+                        if item.backoffs_s
+                        else {}
+                    ),
                     **({"failed": True} if item.failed else {}),
                     "result": item.result,
                 }
@@ -462,6 +486,8 @@ def run(
         failed: bool = False,
         wall_s: float = 0.0,
         attempts: int = 1,
+        fallback: bool = False,
+        backoffs: Tuple[float, ...] = (),
     ) -> None:
         # Failure rows are never persisted: a later run with the bug (or
         # flake) gone must recompute the cell, not replay the failure.
@@ -484,6 +510,8 @@ def run(
             failed=failed,
             wall_s=wall_s,
             attempts=attempts,
+            fallback=fallback,
+            backoffs_s=backoffs,
         )
         if registry is not None:
             registry.counter("sweep.cells_done").inc()
@@ -497,8 +525,17 @@ def run(
     def payload_for(cell: Cell) -> Tuple[Any, ...]:
         return (sweep.task, cell.config, cell.params, cell_timeout)
 
-    def run_serially(cell: Cell, key: str) -> None:
-        attempts = 0
+    # Pool-side retry history, keyed by cell index: how many attempts each
+    # pending cell has made and the backoff slept before each retry.  The
+    # serial-fallback path continues these counts, so a cell that failed
+    # twice in the pool and once more in-process reports attempts=3 with
+    # its full backoff schedule.
+    pool_attempts: Dict[int, int] = {}
+    pool_backoffs: Dict[int, List[float]] = {}
+
+    def run_serially(cell: Cell, key: str, *, fallback: bool = False) -> None:
+        attempts = pool_attempts.get(cell.index, 1) - 1 if fallback else 0
+        backoffs = list(pool_backoffs.get(cell.index, [])) if fallback else []
         spent_s = 0.0
         while True:
             attempts += 1
@@ -515,7 +552,9 @@ def run(
                             f"[{cell.label()}] {type(error).__name__}; "
                             f"retry {attempts}/{retries}"
                         )
-                    time.sleep(_retry_backoff_s(sweep.base.seed, cell.index, attempts))
+                    delay = _retry_backoff_s(sweep.base.seed, cell.index, attempts)
+                    backoffs.append(delay)
+                    time.sleep(delay)
                     continue
                 finish(
                     cell,
@@ -524,13 +563,24 @@ def run(
                     failed=True,
                     wall_s=spent_s,
                     attempts=attempts,
+                    fallback=fallback,
+                    backoffs=tuple(backoffs),
                 )
                 return
             spent_s += attempt_watch.elapsed_s()
-            finish(cell, key, result, wall_s=spent_s, attempts=attempts)
+            finish(
+                cell,
+                key,
+                result,
+                wall_s=spent_s,
+                attempts=attempts,
+                fallback=fallback,
+                backoffs=tuple(backoffs),
+            )
             return
 
     serial_cells: List[Tuple[Cell, str]] = []
+    pool_broke = False
     if pending:
         if workers <= 1 or len(pending) == 1:
             serial_cells = list(pending)
@@ -543,7 +593,7 @@ def run(
                         pool.submit(_execute_cell_timed, payload_for(cell)): (cell, key)
                         for cell, key in pending
                     }
-                    attempts = {cell.index: 1 for cell, _ in pending}
+                    pool_attempts.update({cell.index: 1 for cell, _ in pending})
                     remaining = set(futures)
                     while remaining:
                         done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
@@ -554,9 +604,9 @@ def run(
                             except BrokenProcessPool:
                                 raise
                             except Exception as error:  # noqa: BLE001
-                                made = attempts[cell.index]
+                                made = pool_attempts[cell.index]
                                 if made <= retries:
-                                    attempts[cell.index] = made + 1
+                                    pool_attempts[cell.index] = made + 1
                                     if echo is not None:
                                         echo(
                                             f"cell {cell.index + 1}/{len(cells)} "
@@ -564,11 +614,13 @@ def run(
                                             f"{type(error).__name__}; "
                                             f"retry {made}/{retries}"
                                         )
-                                    time.sleep(
-                                        _retry_backoff_s(
-                                            sweep.base.seed, cell.index, made
-                                        )
+                                    delay = _retry_backoff_s(
+                                        sweep.base.seed, cell.index, made
                                     )
+                                    pool_backoffs.setdefault(
+                                        cell.index, []
+                                    ).append(delay)
+                                    time.sleep(delay)
                                     retry = pool.submit(
                                         _execute_cell_timed, payload_for(cell)
                                     )
@@ -581,6 +633,9 @@ def run(
                                         _failure_row(error, made),
                                         failed=True,
                                         attempts=made,
+                                        backoffs=tuple(
+                                            pool_backoffs.get(cell.index, [])
+                                        ),
                                     )
                             else:
                                 finish(
@@ -588,12 +643,18 @@ def run(
                                     key,
                                     result,
                                     wall_s=cell_wall_s,
-                                    attempts=attempts[cell.index],
+                                    attempts=pool_attempts[cell.index],
+                                    backoffs=tuple(
+                                        pool_backoffs.get(cell.index, [])
+                                    ),
                                 )
             except BrokenProcessPool:
                 # A worker died hard (OOM-kill, segfault in a native lib).
                 # Cells are pure functions of their payloads, so the safe
-                # degradation is to finish the unfinished ones in-process.
+                # degradation is to finish the unfinished ones in-process —
+                # marked ``serial-fallback`` in the manifest, continuing
+                # each cell's pool-side attempt/backoff history.
+                pool_broke = True
                 serial_cells = [
                     item for item in pending if results[item[0].index] is None
                 ]
@@ -603,7 +664,7 @@ def run(
                         "remaining cell(s) serially"
                     )
     for cell, key in serial_cells:
-        run_serially(cell, key)
+        run_serially(cell, key, fallback=pool_broke)
     complete = [item for item in results if item is not None]
     assert len(complete) == len(cells)
     return SweepResult(

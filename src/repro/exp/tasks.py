@@ -12,18 +12,25 @@ Built-ins:
 * ``methods`` — probe the configured pools and evaluate assembly methods
   against the shared random baseline (the Table I/II/V & Figure 12–15 cell);
 * ``replay`` — run the configured host workload through the full FTL+SSD
-  stack and report latency/WA metrics (the ``repro replay`` cell).
+  stack and report latency/WA metrics (the ``repro replay`` cell);
+* ``fleet`` — serve the sharded multi-tenant fleet workload over N devices
+  and report fleet/per-tenant tail QoS plus the trace sha256 (the
+  ``repro fleet`` cell).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.assembly.evaluate import MethodResult
-from repro.exp.build import build_stack
+from repro.exp.build import build_fleet, build_stack
 from repro.exp.config import SimConfig
 from repro.exp.methods import MethodEvaluator
+from repro.fleet.config import FleetConfig
+from repro.obs.export import to_jsonl
+from repro.obs.tracer import Tracer
 from repro.workloads.replay import Replayer
 
 TaskFn = Callable[[SimConfig, Dict[str, Any]], Dict[str, Any]]
@@ -144,3 +151,40 @@ def replay_task(config: SimConfig, params: Dict[str, Any]) -> Dict[str, Any]:
         "latency": {op: dict(summary) for op, summary in report.summary().items()},
         "ftl": dict(stack.ftl.metrics.summary()),
     }
+
+
+@register_task(
+    "fleet",
+    modules=(
+        "repro.utils",
+        "repro.obs",
+        "repro.faults",
+        "repro.nand",
+        "repro.characterization",
+        "repro.assembly",
+        "repro.core",
+        "repro.policy",
+        "repro.ftl",
+        "repro.ssd",
+        "repro.workloads",
+        "repro.fleet",
+        "repro.exp",
+    ),
+    description="serve the sharded multi-tenant workload over a device fleet",
+)
+def fleet_task(config: SimConfig, params: Dict[str, Any]) -> Dict[str, Any]:
+    """One fleet serving cell: tail QoS summary plus the trace fingerprint.
+
+    Always runs traced: the sha256 of the canonical JSONL serving trace
+    lands in the result (hence the sweep manifest), which is what the
+    serial-vs-parallel byte-identity gate compares.
+    """
+    if config.fleet is None:
+        config = config.with_(fleet=FleetConfig())
+    tracer = Tracer()
+    report = build_fleet(config, tracer=tracer).run()
+    summary = report.summary()
+    trace = to_jsonl(tracer.events)
+    summary["trace_events"] = len(tracer.events)
+    summary["trace_sha256"] = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+    return summary

@@ -1,0 +1,102 @@
+"""Per-device circuit breaker (closed → open → half-open), in sim time.
+
+The classic serving-layer state machine, driven entirely by the simulated
+clock the fleet event loop advances — no wall clock, no RNG, so breaker
+transitions are a pure function of the observed success/failure sequence:
+
+* **closed** — requests flow; ``breaker_threshold`` consecutive failures
+  inside ``window_us`` trip it open;
+* **open** — requests are steered away until ``cooldown_us`` has elapsed;
+* **half-open** — one probe request is admitted; success closes the
+  breaker, failure re-opens it (with a fresh cooldown).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-windowed breaker for one device."""
+
+    __slots__ = (
+        "threshold",
+        "window_us",
+        "cooldown_us",
+        "state",
+        "opened_at_us",
+        "opens",
+        "_failures_us",
+        "_probe_inflight",
+    )
+
+    def __init__(
+        self, threshold: int, window_us: float, cooldown_us: float
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if window_us <= 0 or cooldown_us <= 0:
+            raise ValueError("window_us and cooldown_us must be positive")
+        self.threshold = threshold
+        self.window_us = window_us
+        self.cooldown_us = cooldown_us
+        self.state = STATE_CLOSED
+        self.opened_at_us = 0.0
+        self.opens = 0
+        self._failures_us: List[float] = []
+        self._probe_inflight = False
+
+    def _expire(self, now_us: float) -> None:
+        cutoff = now_us - self.window_us
+        self._failures_us = [t for t in self._failures_us if t >= cutoff]
+
+    def allow(self, now_us: float) -> bool:
+        """May a request be dispatched to this device at ``now_us``?
+
+        In the open state the cooldown elapsing moves the breaker to
+        half-open, where exactly one probe is admitted at a time.  The
+        check itself never claims the probe slot — callers that actually
+        dispatch must pair it with :meth:`begin_probe`, so merely *asking*
+        (e.g. while ranking candidates) cannot wedge the device.
+        """
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_OPEN:
+            if now_us - self.opened_at_us < self.cooldown_us:
+                return False
+            self.state = STATE_HALF_OPEN
+            self._probe_inflight = False
+        return not self._probe_inflight
+
+    def begin_probe(self) -> None:
+        """Claim the half-open probe slot (no-op in other states)."""
+        if self.state == STATE_HALF_OPEN:
+            self._probe_inflight = True
+
+    def record_success(self, now_us: float) -> None:
+        if self.state == STATE_HALF_OPEN:
+            self.state = STATE_CLOSED
+            self._probe_inflight = False
+        self._failures_us.clear()
+
+    def record_failure(self, now_us: float) -> None:
+        if self.state == STATE_HALF_OPEN:
+            self._open(now_us)
+            return
+        if self.state == STATE_OPEN:
+            return
+        self._expire(now_us)
+        self._failures_us.append(now_us)
+        if len(self._failures_us) >= self.threshold:
+            self._open(now_us)
+
+    def _open(self, now_us: float) -> None:
+        self.state = STATE_OPEN
+        self.opened_at_us = now_us
+        self.opens += 1
+        self._failures_us.clear()
+        self._probe_inflight = False

@@ -1,0 +1,163 @@
+"""Frozen fleet-serving configuration.
+
+:class:`FleetConfig` names everything the sharded multi-SSD serving layer
+depends on — population shape (devices, replicas, tenants, per-tenant
+request volume), admission control (queue depth), tail-tolerance knobs
+(deadline, retries, backoff, hedge quantile), the circuit-breaker window
+and the ejection threshold — so a fleet run is a pure function of
+``(SimConfig, FleetConfig, seed)``.  It hangs off ``SimConfig.fleet`` and
+is omitted from serialization when unset, so pre-existing device configs
+content-hash exactly as they did before this package existed.
+
+The class lives below ``repro.exp`` in the layer DAG (``exp`` owns
+``SimConfig`` and imports this module, never the reverse).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+#: Tenant workload profiles the fleet knows how to generate (tenants cycle
+#: through this set by tenant id; see :mod:`repro.fleet.tenants`).
+TENANT_PROFILES: Tuple[str, ...] = ("zipf", "mixed", "hotcold", "smalllarge")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything the fleet serving layer depends on, in one value object."""
+
+    #: simulated SSDs in the fleet (each built through ``build_stack``).
+    devices: int = 4
+    #: copies of each tenant's data (1 = no replication, no hedging).
+    replicas: int = 2
+    #: tenant population; tenant ``t`` shards to ``healthy[t % len(healthy)]``.
+    tenants: int = 8
+    #: requests generated per tenant stream.
+    requests_per_tenant: int = 128
+    #: mean inter-arrival per tenant stream (µs, exponential).
+    interarrival_us: float = 2000.0
+    #: workload profile cycle; tenant ``t`` uses ``profiles[t % len]``.
+    profiles: Tuple[str, ...] = ("zipf", "mixed")
+    #: read share of the ``mixed`` profile.
+    read_fraction: float = 0.5
+    #: per-device in-flight bound; beyond it admission control rejects.
+    queue_depth: int = 32
+    #: per-attempt service deadline (µs); a late completion triggers a retry.
+    deadline_us: float = 50000.0
+    #: deadline-driven retries per request (backpressure retries are extra).
+    max_retries: int = 2
+    #: base retry backoff (µs); exponential in the attempt, seed-jittered.
+    backoff_us: float = 500.0
+    #: hedge a read once its service exceeds this device-local quantile.
+    hedge_quantile: float = 0.95
+    #: observed read samples a device needs before its hedge threshold arms.
+    hedge_min_samples: int = 32
+    #: consecutive failures within the window that open a device's breaker.
+    breaker_threshold: int = 3
+    #: failure-counting window (µs) of the breaker.
+    breaker_window_us: float = 200000.0
+    #: how long an open breaker rejects before probing half-open (µs).
+    breaker_cooldown_us: float = 100000.0
+    #: hard media faults (erase-fail / plane outage / fatal error) before a
+    #: device is permanently ejected and its tenants re-sharded.
+    eject_hard_faults: int = 2
+    #: device index the parent ``SimConfig.faults`` plan is installed on
+    #: (the other devices always run fault-free).
+    fault_device: int = 0
+
+    def __post_init__(self) -> None:
+        if self.devices < 2:
+            raise ValueError("a fleet needs at least two devices")
+        if not 1 <= self.replicas <= self.devices:
+            raise ValueError("replicas must be in [1, devices]")
+        if self.tenants < 1:
+            raise ValueError("need at least one tenant")
+        if self.requests_per_tenant < 1:
+            raise ValueError("requests_per_tenant must be >= 1")
+        if self.interarrival_us <= 0:
+            raise ValueError("interarrival_us must be positive")
+        profiles = tuple(self.profiles)
+        if not profiles:
+            raise ValueError("need at least one tenant profile")
+        unknown = [p for p in profiles if p not in TENANT_PROFILES]
+        if unknown:
+            raise ValueError(
+                f"unknown tenant profile(s) {unknown}; pick from {TENANT_PROFILES}"
+            )
+        object.__setattr__(self, "profiles", profiles)
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.deadline_us <= 0:
+            raise ValueError("deadline_us must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_us < 0:
+            raise ValueError("backoff_us must be >= 0")
+        if not 0.0 < self.hedge_quantile < 1.0:
+            raise ValueError("hedge_quantile must be in (0, 1)")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_window_us <= 0:
+            raise ValueError("breaker_window_us must be positive")
+        if self.breaker_cooldown_us <= 0:
+            raise ValueError("breaker_cooldown_us must be positive")
+        if self.eject_hard_faults < 1:
+            raise ValueError("eject_hard_faults must be >= 1")
+        if not 0 <= self.fault_device < self.devices:
+            raise ValueError("fault_device must name a device index")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict (the ``profiles`` tuple becomes a list in JSON)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetConfig":
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown FleetConfig fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FleetConfig":
+        """Parse a CLI spec.
+
+        ``@path.json`` loads a full config from a JSON file; otherwise the
+        spec is comma-separated ``key=value`` pairs over the field names
+        (``profiles`` takes a ``+``-separated list), e.g.
+        ``devices=4,tenants=8,profiles=zipf+mixed``.
+        """
+        spec = spec.strip()
+        if not spec:
+            raise ValueError("empty fleet spec")
+        if spec.startswith("@"):
+            with open(spec[1:], "r", encoding="utf-8") as fh:
+                return cls.from_dict(json.load(fh))
+        hints = {f.name: f.type for f in dataclasses.fields(cls)}
+        kwargs: Dict[str, Any] = {}
+        for part in spec.split(","):
+            if "=" not in part:
+                raise ValueError(f"bad fleet spec fragment {part!r} (want key=value)")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in hints:
+                raise ValueError(
+                    f"unknown fleet spec key {key!r} "
+                    f"(want one of {', '.join(sorted(hints))})"
+                )
+            if key == "profiles":
+                kwargs[key] = tuple(v for v in value.split("+") if v)
+            elif "float" in str(hints[key]):
+                kwargs[key] = float(value)
+            else:
+                kwargs[key] = int(value)
+        return cls(**kwargs)

@@ -4,7 +4,7 @@ The simulator is layered as a DAG::
 
     utils → faults → nand → characterization → assembly → core → policy → ftl → ssd
         ↘ obs ————— (importable by core / ftl / ssd / …) ———————→ workloads
-        ↘ perf ——— (importable by every simulation layer) ——————→ kernels
+        ↘ perf ——— (importable by every simulation layer) ——————→ kernels / fleet
                                                                → exp
                                                                → analysis
                                                                → lint / cli / api
@@ -35,8 +35,14 @@ hot paths, plus the ``backend="vector"`` engine built from them) sits at the
 same height as ``exp``: the engine subclasses the FTL/SSD and generates
 workload prefixes, so it may import everything up to ``workloads``, and only
 ``exp`` (which swaps the engine in behind ``SimConfig.backend``) and the
-layers above reach down into it.  ``repro.api`` is the top-level façade
-benchmarks and tools import from.
+layers above reach down into it.  ``fleet`` (the sharded multi-SSD serving
+layer) sits in the same band: it serves tenant workloads over fully built
+devices, so it may import everything up to ``workloads``, while ``exp``
+owns its construction (``SimConfig.fleet`` → ``build_fleet``) and is the
+only layer that reaches down into it.  The fleet scheduler runs entirely in
+simulated time — the wall-clock fence (``perf`` below, deep-lint taint
+rules) applies to it like any simulation layer.  ``repro.api`` is the
+top-level façade benchmarks and tools import from.
 
 :data:`LAYER_EXCEPTIONS` lists the few reviewed module-level edges that cross
 the map, each with a justification here rather than in the importing file.
@@ -130,11 +136,28 @@ LAYER_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
             "utils",
         }
     ),
+    "fleet": frozenset(
+        {
+            "obs",
+            "perf",
+            "faults",
+            "workloads",
+            "ssd",
+            "ftl",
+            "policy",
+            "core",
+            "assembly",
+            "characterization",
+            "nand",
+            "utils",
+        }
+    ),
     "exp": frozenset(
         {
             "obs",
             "perf",
             "faults",
+            "fleet",
             "kernels",
             "workloads",
             "ssd",

@@ -112,6 +112,15 @@ EXPECTED_EXPORTS = frozenset(
         "policy_names",
         "register_policy",
         "resolve_policies",
+        # -- fleet serving layer (repro.fleet) --
+        "CircuitBreaker",
+        "FleetConfig",
+        "FleetReport",
+        "FleetSim",
+        "TenantRequest",
+        "build_fleet",
+        "fleet_workload",
+        "tenant_stream",
         # -- fault injection --
         "FaultEvent",
         "FaultInjector",

@@ -289,9 +289,9 @@ class TestSweepCommand:
         # every cell line carries its config content hash
         assert out.count("config=") == 6
 
-    def test_bad_axis_spec_exits_nonzero(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["sweep", "--over", "seed", "--dry-run"])
+    def test_bad_axis_spec_exits_two(self, capsys):
+        assert main(["sweep", "--over", "seed", "--dry-run"]) == 2
+        assert "bad --over" in capsys.readouterr().err
 
     def test_duplicate_axis_exits_two(self, capsys):
         assert main(["sweep", "--over", "seed=1", "--over", "seed=2", "--dry-run"]) == 2

@@ -178,6 +178,54 @@ class TestBrokenPool:
         assert cell.failed
         assert cell.result["error_type"] == "ValueError"
 
+    def test_fallback_is_recorded_in_provenance(self):
+        # Two cells force the real pool path (one pending cell short-cuts
+        # to serial); the workers hard-exit, the pool breaks, and both
+        # cells finish inline — which the manifest must say out loud.
+        sweep = Sweep(
+            "test-worker-killer", base=BASE, params={"main_pid": os.getpid()}
+        ).over("variant", [0, 1])
+        result = run(sweep, workers=2)
+        assert len(result.cells) == 2
+        assert all(cell.fallback for cell in result.cells)
+        assert all(
+            cell.provenance == "serial-fallback" for cell in result.cells
+        )
+        rows = result.manifest()["cells"]
+        assert all(row["provenance"] == "serial-fallback" for row in rows)
+        assert all(row["fallback"] is True for row in rows)
+
+    def test_clean_pool_run_is_not_marked_fallback(self):
+        sweep = Sweep(
+            "test-fails-when-told", base=BASE
+        ).over("shouldfail", [0, 0])
+        result = run(sweep, workers=2)
+        assert all(not cell.fallback for cell in result.cells)
+        assert all(cell.provenance == "computed" for cell in result.cells)
+        rows = result.manifest()["cells"]
+        assert all("fallback" not in row for row in rows)
+
+
+class TestBackoffHistory:
+    def test_retry_backoffs_recorded_per_cell(self):
+        result = run(Sweep("test-always-fails", base=BASE), retries=2)
+        (cell,) = result.cells
+        assert cell.attempts == 3
+        # the recorded schedule is exactly the seed-stable one
+        assert cell.backoffs_s == tuple(
+            _retry_backoff_s(BASE.seed, 0, attempt) for attempt in (1, 2)
+        )
+        row = result.manifest()["cells"][0]
+        assert row["backoffs_s"] == [round(b, 6) for b in cell.backoffs_s]
+
+    def test_unretried_cells_carry_no_backoff_keys(self):
+        result = run(Sweep("test-sleepy", base=BASE, params={"sleep_s": 0.0}))
+        (cell,) = result.cells
+        assert cell.backoffs_s == ()
+        row = result.manifest()["cells"][0]
+        assert "backoffs_s" not in row
+        assert row["provenance"] == "computed"
+
 
 class TestManifest:
     def test_failure_keys_present_only_when_failing(self):

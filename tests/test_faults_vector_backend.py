@@ -1,0 +1,109 @@
+"""Fault injection x vector backend: the gate falls back, bytes agree.
+
+``build_stack`` only swaps in the vector engine for stacks it can
+reproduce bit-for-bit, and fault injection is explicitly outside that
+set: a faulted config with ``backend="vector"`` must build the scalar
+reference classes and land on exactly the scalar bytes — traced JSONL
+events, untraced replay state, and config content hashes alike.  This
+is the contract the CI vector job relies on when it reruns the whole
+command matrix under ``REPRO_BACKEND=vector``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.exp import SimConfig, build_stack
+from repro.faults import FaultEvent, FaultPlan
+from repro.kernels import VectorFtl, VectorSsd
+from repro.obs import Tracer
+from repro.obs.export import to_jsonl
+from repro.workloads import Replayer
+
+
+def _faulted() -> SimConfig:
+    # a busy schedule: every fault family, two of them mid-replay
+    plan = FaultPlan(
+        program_fail_prob=0.002,
+        events=(
+            FaultEvent(kind="program_fail", chip=0, block=3, at_time_us=500.0),
+            FaultEvent(
+                kind="read_storm",
+                chip=1,
+                at_time_us=1500.0,
+                duration_ops=40,
+                rber_multiplier=6.0,
+            ),
+            FaultEvent(kind="erase_fail", chip=0, at_time_us=4000.0),
+            FaultEvent(kind="plane_outage", chip=1, plane=1, at_time_us=9000.0),
+        ),
+    )
+    return SimConfig.device(
+        seed=7, chips=2, blocks=20, requests=600, faults=plan
+    )
+
+
+def _trace_digest(config: SimConfig) -> str:
+    tracer = Tracer()
+    stack = build_stack(config, tracer=tracer)
+    Replayer(stack.ssd).replay(stack.requests())
+    return hashlib.sha256(to_jsonl(tracer.events).encode("utf-8")).hexdigest()
+
+
+def _replay_state(config: SimConfig) -> str:
+    stack = build_stack(config)
+    report = Replayer(stack.ssd).replay(stack.requests())
+    ftl = stack.ssd.ftl
+    doc = {
+        "summary": report.summary(),
+        "latencies": report.latencies(),
+        "ftl": ftl.metrics.summary(),
+        "injector": {
+            chip_id: {
+                "program_fails": chip.injector.injected_program_fails,
+                "erase_fails": chip.injector.injected_erase_fails,
+                "read_storms": chip.injector.injected_read_storms,
+                "plane_outages": chip.injector.injected_plane_outages,
+            }
+            for chip_id, chip in sorted(ftl.chips.items())
+        },
+        "map": sorted(
+            (lpn, loc.superblock_id, loc.slot)
+            for lpn, loc in ftl.mapper.iter_mapped()
+        ),
+    }
+    return json.dumps(doc, sort_keys=True)
+
+
+def test_faulted_vector_config_builds_the_scalar_classes(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    stack = build_stack(_faulted().with_(backend="vector"))
+    assert not isinstance(stack.ssd, VectorSsd)
+    assert not isinstance(stack.ftl, VectorFtl)
+
+
+def test_faulted_env_var_backend_also_falls_back(monkeypatch):
+    # the CI vector job sets the env var rather than editing configs
+    monkeypatch.setenv("REPRO_BACKEND", "vector")
+    stack = build_stack(_faulted())
+    assert not isinstance(stack.ssd, VectorSsd)
+
+
+def test_backend_field_does_not_fork_the_faulted_config_hash():
+    config = _faulted()
+    assert (
+        config.with_(backend="vector").content_hash() == config.content_hash()
+    )
+
+
+def test_faulted_traces_byte_identical_across_backends():
+    scalar = _trace_digest(_faulted())
+    vector = _trace_digest(_faulted().with_(backend="vector"))
+    assert scalar == vector
+
+
+def test_faulted_untraced_state_identical_across_backends():
+    scalar = _replay_state(_faulted())
+    vector = _replay_state(_faulted().with_(backend="vector"))
+    assert scalar == vector

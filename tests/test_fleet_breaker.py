@@ -1,0 +1,93 @@
+"""CircuitBreaker unit tests: the closed → open → half-open machine."""
+
+import pytest
+
+from repro.fleet import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+
+
+def make(threshold=3, window_us=1000.0, cooldown_us=500.0):
+    return CircuitBreaker(threshold, window_us, cooldown_us)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0},
+            {"window_us": 0.0},
+            {"cooldown_us": -1.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make(**kwargs)
+
+
+class TestTripping:
+    def test_threshold_failures_in_window_open_it(self):
+        breaker = make()
+        for t in (10.0, 20.0, 30.0):
+            assert breaker.state == STATE_CLOSED
+            breaker.record_failure(t)
+        assert breaker.state == STATE_OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow(31.0)
+
+    def test_window_expiry_forgets_old_failures(self):
+        breaker = make()
+        breaker.record_failure(0.0)
+        breaker.record_failure(10.0)
+        # the first two fall out of the 1000 µs window before the third
+        breaker.record_failure(2000.0)
+        assert breaker.state == STATE_CLOSED
+
+    def test_success_resets_the_failure_run(self):
+        breaker = make()
+        breaker.record_failure(10.0)
+        breaker.record_failure(20.0)
+        breaker.record_success(30.0)
+        breaker.record_failure(40.0)
+        breaker.record_failure(50.0)
+        assert breaker.state == STATE_CLOSED
+
+
+class TestHalfOpen:
+    def tripped(self):
+        breaker = make()
+        for t in (10.0, 20.0, 30.0):
+            breaker.record_failure(t)
+        return breaker
+
+    def test_cooldown_elapsing_admits_one_probe(self):
+        breaker = self.tripped()
+        assert not breaker.allow(529.0)  # opened at 30, cooldown 500
+        assert breaker.allow(531.0)
+        assert breaker.state == STATE_HALF_OPEN
+        # asking never claims the slot — ranking candidates is free
+        assert breaker.allow(532.0)
+        breaker.begin_probe()
+        assert not breaker.allow(533.0)
+
+    def test_probe_success_closes(self):
+        breaker = self.tripped()
+        assert breaker.allow(531.0)
+        breaker.begin_probe()
+        breaker.record_success(540.0)
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow(541.0)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = self.tripped()
+        assert breaker.allow(531.0)
+        breaker.begin_probe()
+        breaker.record_failure(540.0)
+        assert breaker.state == STATE_OPEN
+        assert breaker.opens == 2
+        assert breaker.opened_at_us == 540.0
+        assert not breaker.allow(1030.0)
+        assert breaker.allow(1041.0)

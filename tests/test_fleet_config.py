@@ -1,0 +1,104 @@
+"""FleetConfig: validation, serialization, and SimConfig hash stability."""
+
+import json
+
+import pytest
+
+from repro.exp import SimConfig
+from repro.fleet import FleetConfig, TENANT_PROFILES
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            ({"devices": 1}, "at least two devices"),
+            ({"replicas": 0}, "replicas"),
+            ({"devices": 2, "replicas": 3}, "replicas"),
+            ({"tenants": 0}, "tenant"),
+            ({"requests_per_tenant": 0}, "requests_per_tenant"),
+            ({"interarrival_us": 0.0}, "interarrival_us"),
+            ({"profiles": ()}, "profile"),
+            ({"profiles": ("zipf", "bogus")}, "unknown tenant profile"),
+            ({"read_fraction": 1.5}, "read_fraction"),
+            ({"queue_depth": 0}, "queue_depth"),
+            ({"deadline_us": 0.0}, "deadline_us"),
+            ({"max_retries": -1}, "max_retries"),
+            ({"backoff_us": -1.0}, "backoff_us"),
+            ({"hedge_quantile": 1.0}, "hedge_quantile"),
+            ({"hedge_min_samples": 0}, "hedge_min_samples"),
+            ({"breaker_threshold": 0}, "threshold"),
+            ({"breaker_window_us": 0.0}, "window"),
+            ({"breaker_cooldown_us": 0.0}, "cooldown"),
+            ({"eject_hard_faults": 0}, "eject_hard_faults"),
+            ({"fault_device": 4}, "fault_device"),
+            ({"fault_device": -1}, "fault_device"),
+        ],
+    )
+    def test_bad_field_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            FleetConfig(**kwargs)
+
+    def test_profiles_list_coerced_to_tuple(self):
+        fleet = FleetConfig(profiles=["zipf", "hotcold"])
+        assert fleet.profiles == ("zipf", "hotcold")
+
+    def test_every_registered_profile_is_accepted(self):
+        assert FleetConfig(profiles=TENANT_PROFILES).profiles == TENANT_PROFILES
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        fleet = FleetConfig(devices=3, replicas=3, profiles=("hotcold",))
+        assert FleetConfig.from_dict(fleet.to_dict()) == fleet
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown FleetConfig fields"):
+            FleetConfig.from_dict({"devices": 2, "turbo": True})
+
+    def test_from_spec_key_values(self):
+        fleet = FleetConfig.from_spec(
+            "devices=3,replicas=1,tenants=4,profiles=zipf+hotcold,"
+            "deadline_us=25000,hedge_quantile=0.9"
+        )
+        assert fleet.devices == 3
+        assert fleet.replicas == 1
+        assert fleet.profiles == ("zipf", "hotcold")
+        assert fleet.deadline_us == 25000.0
+        assert fleet.hedge_quantile == 0.9
+
+    def test_from_spec_json_file(self, tmp_path):
+        fleet = FleetConfig(devices=5, tenants=10)
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(fleet.to_dict()), encoding="utf-8")
+        assert FleetConfig.from_spec(f"@{path}") == fleet
+
+    @pytest.mark.parametrize(
+        "spec", ["", "devices", "warp=9", "devices=two"]
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            FleetConfig.from_spec(spec)
+
+
+class TestSimConfigIntegration:
+    def test_fleet_free_configs_hash_exactly_as_before(self):
+        # the fleet field must be invisible when unset: this is the same
+        # pinned hash tests/test_backend_identity.py fences
+        config = SimConfig.device(seed=7, chips=4, blocks=24, requests=600)
+        assert config.content_hash() == "3a5f792a954439f5"
+        assert "fleet" not in config.to_dict()
+
+    def test_fleet_field_round_trips_through_simconfig(self):
+        fleet = FleetConfig(devices=3, tenants=4)
+        config = SimConfig.device(seed=7, chips=4, blocks=24).with_(fleet=fleet)
+        data = config.to_dict()
+        assert data["fleet"]["devices"] == 3
+        rebuilt = SimConfig.from_dict(data)
+        assert rebuilt.fleet == fleet
+        assert rebuilt.content_hash() == config.content_hash()
+
+    def test_fleet_field_forks_the_hash_when_set(self):
+        config = SimConfig.device(seed=7, chips=4, blocks=24)
+        with_fleet = config.with_(fleet=FleetConfig())
+        assert with_fleet.content_hash() != config.content_hash()

@@ -1,0 +1,59 @@
+"""Tenant streams: independence, determinism, and the merged total order."""
+
+from repro.fleet import FleetConfig, fleet_workload, tenant_stream
+from repro.fleet.tenants import tenant_profile
+from repro.workloads import OpKind
+
+FLEET = FleetConfig(tenants=4, requests_per_tenant=32, profiles=("zipf", "mixed"))
+PAGES = 500
+
+
+class TestTenantStream:
+    def test_deterministic(self):
+        a = tenant_stream(FLEET, 7, 1, PAGES)
+        b = tenant_stream(FLEET, 7, 1, PAGES)
+        assert a == b
+
+    def test_tenants_draw_from_independent_streams(self):
+        # growing the tenant population must not perturb existing tenants
+        small = FleetConfig(**{**FLEET.to_dict(), "tenants": 2})
+        assert tenant_stream(small, 7, 0, PAGES) == tenant_stream(FLEET, 7, 0, PAGES)
+        assert tenant_stream(FLEET, 7, 0, PAGES) != tenant_stream(FLEET, 7, 2, PAGES)
+
+    def test_seed_forks_the_stream(self):
+        assert tenant_stream(FLEET, 7, 0, PAGES) != tenant_stream(FLEET, 8, 0, PAGES)
+
+    def test_lpns_stay_inside_the_tenant_slice(self):
+        for tenant in range(FLEET.tenants):
+            for request in tenant_stream(FLEET, 7, tenant, PAGES):
+                assert 0 <= request.lpn < PAGES
+
+    def test_profiles_cycle_by_tenant(self):
+        assert [tenant_profile(FLEET, t) for t in range(4)] == [
+            "zipf", "mixed", "zipf", "mixed",
+        ]
+        # zipf tenants are write-only; mixed tenants issue reads too
+        assert all(
+            r.op is OpKind.WRITE for r in tenant_stream(FLEET, 7, 0, PAGES)
+        )
+        assert any(
+            r.op is OpKind.READ for r in tenant_stream(FLEET, 7, 1, PAGES)
+        )
+
+
+class TestFleetWorkload:
+    def test_merge_is_a_total_order(self):
+        merged = fleet_workload(FLEET, 7, PAGES)
+        assert len(merged) == FLEET.tenants * FLEET.requests_per_tenant
+        keys = [(tr.time_us, tr.tenant, tr.index) for tr in merged]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_merge_is_deterministic(self):
+        assert fleet_workload(FLEET, 7, PAGES) == fleet_workload(FLEET, 7, PAGES)
+
+    def test_per_tenant_indices_are_contiguous(self):
+        merged = fleet_workload(FLEET, 7, PAGES)
+        for tenant in range(FLEET.tenants):
+            indices = [tr.index for tr in merged if tr.tenant == tenant]
+            assert sorted(indices) == list(range(FLEET.requests_per_tenant))
